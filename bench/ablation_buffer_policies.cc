@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation: switch packet-buffer architecture (the design axis DIABLO
+ * makes runtime-configurable, SS3.3).  Runs the same 1 Gbps incast
+ * workload across buffer policies and sizes — quantifying how much of
+ * the TCP Incast story is the buffer organization itself.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace diablo;
+using namespace diablo::bench;
+using analysis::Table;
+
+int
+main()
+{
+    banner("Ablation: buffer policy x size under incast (1 Gbps)",
+           "design-space study enabled by runtime-configurable "
+           "switch models");
+
+    const uint32_t iters = incastIterations();
+    const uint32_t n = 12; // server count in the collapse region
+
+    Table t({"policy", "per-port bytes", "goodput (Mbps)",
+             "iterations > 100ms"});
+    struct Row {
+        const char *name;
+        switchm::BufferPolicy policy;
+        uint64_t bytes;
+    };
+    const std::vector<Row> rows = {
+        {"partitioned", switchm::BufferPolicy::Partitioned, 4096},
+        {"partitioned", switchm::BufferPolicy::Partitioned, 16384},
+        {"partitioned", switchm::BufferPolicy::Partitioned, 65536},
+        {"partitioned", switchm::BufferPolicy::Partitioned, 1 << 20},
+        {"shared", switchm::BufferPolicy::Shared, 16384},
+        {"shared", switchm::BufferPolicy::Shared, 65536},
+        {"shared_dynamic", switchm::BufferPolicy::SharedDynamic, 16384},
+        {"shared_dynamic", switchm::BufferPolicy::SharedDynamic, 65536},
+    };
+    for (const auto &r : rows) {
+        auto res = runIncast(n, r.policy, r.bytes, false, 4.0, false,
+                             iters);
+        int stalled = 0;
+        for (double it_us : res.iteration_us.raw()) {
+            if (it_us > 100000.0) {
+                ++stalled;
+            }
+        }
+        t.addRow({r.name, Table::cell("%llu",
+                                      static_cast<unsigned long long>(
+                                          r.bytes)),
+                  Table::cell("%.1f", res.goodputMbps()),
+                  Table::cell("%d/%zu", stalled,
+                              res.iteration_us.count())});
+    }
+    t.print();
+
+    std::printf("\ntakeaways: per-port partitions collapse earliest; "
+                "shared pools with\ndynamic thresholds postpone collapse "
+                "(the paper's hardware comparison);\ndeep buffers avoid "
+                "RTO stalls entirely at this fan-in.\n");
+    return 0;
+}

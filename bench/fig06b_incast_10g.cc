@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 6(b): TCP Incast on a simulated 10 Gbps network under different
+ * server hardware and software configurations: {2 GHz, 4 GHz} CPUs x
+ * {pthread-blocking, epoll} client service styles.
+ *
+ * Shape targets (paper SS4.1):
+ *  - CPU speed caps goodput when there is no collapse (2 GHz client
+ *    ~1.8 Gbps vs several Gbps at 4 GHz);
+ *  - epoll significantly delays the onset of throughput collapse;
+ *  - the pthread client collapses quickly even with the faster CPU.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace diablo;
+using namespace diablo::bench;
+using analysis::Table;
+
+int
+main()
+{
+    banner("Figure 6(b): TCP Incast goodput, 10 Gbps simulated switch",
+           "Fig. 6(b) - CPU speed x syscall interface at 10 Gbps");
+
+    const uint32_t iters = incastIterations();
+    const std::vector<uint32_t> counts = {1, 4, 8, 12, 16, 20, 23};
+
+    struct Cfg {
+        const char *name;
+        double ghz;
+        bool epoll;
+    };
+    const std::vector<Cfg> cfgs = {
+        {"4GHz epoll", 4.0, true},
+        {"4GHz pthread", 4.0, false},
+        {"2GHz epoll", 2.0, true},
+        {"2GHz pthread", 2.0, false},
+    };
+
+    Table t({"servers", "4GHz epoll", "4GHz pthread", "2GHz epoll",
+             "2GHz pthread"});
+    std::vector<analysis::Series> series;
+    for (const auto &c : cfgs) {
+        series.push_back({c.name, {}});
+    }
+
+    for (uint32_t n : counts) {
+        std::vector<std::string> row = {Table::cell("%u", n)};
+        for (size_t ci = 0; ci < cfgs.size(); ++ci) {
+            auto r = runIncast(n, switchm::BufferPolicy::Partitioned,
+                               4096, cfgs[ci].epoll, cfgs[ci].ghz, true,
+                               iters);
+            row.push_back(Table::cell("%.0f", r.goodputMbps()));
+            series[ci].points.emplace_back(n, r.goodputMbps());
+        }
+        t.addRow(row);
+    }
+    t.print();
+    analysis::asciiPlot("goodput (Mbps) vs number of servers (10 Gbps)",
+                        series, 64, 16, false);
+
+    std::printf(
+        "\npaper anchors: 2 GHz client tops out ~1.8 Gbps without "
+        "collapse;\nepoll delays collapse (paper: onset ~9 servers at "
+        "4 GHz, 2.7 Gbps ->\n1.8 Gbps by 23); pthread collapses quickly "
+        "even at 4 GHz, recovering\nto only ~10%% of link capacity.\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 15: "Impact of memcached versions on the latency CDF" —
+ * 1.4.15 vs 1.4.17 (the accept4 syscall saving) at 500 and 2,000
+ * nodes over TCP.
+ *
+ * Shape targets (paper SS4.2): at 500 nodes the versions are nearly
+ * indistinguishable (the paper measured only ~8 us at the 99th
+ * percentile); at 2,000 nodes the benefit of fewer syscalls per new
+ * connection becomes more apparent — scale amplifies the latency-tail
+ * effect of a single syscall's difference.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace diablo;
+using namespace diablo::bench;
+using analysis::Table;
+
+int
+main()
+{
+    banner("Figure 15: memcached 1.4.15 vs 1.4.17 at 500 / 2000 nodes",
+           "Fig. 15 - accept4 connection-path saving, TCP");
+
+    Table t({"nodes", "version", "p50 (us)", "p99 (us)",
+             "1st-req p50/p99 (us)", "server CPU (ms)"});
+
+    for (uint32_t nodes : {496u, 1984u}) {
+        double p99[2];
+        int i = 0;
+        for (int version : {1415, 1417}) {
+            apps::McExperimentParams p = mcConfig(nodes, false, false);
+            p.server.version = version;
+            // Connection setup must land in measured latencies: clients
+            // open connections lazily (first request to each server).
+            p.client.preconnect = false;
+            Simulator sim;
+            apps::McExperiment exp(sim, p);
+            exp.run();
+            const SampleSet &lat = exp.result().latency_us;
+
+            SimTime server_cpu;
+            for (net::NodeId s : exp.serverNodes()) {
+                server_cpu += exp.cluster().kernel(s).cpu().totalBusyTime();
+            }
+            const SampleSet &first = exp.result().first_request_us;
+            t.addRow({Table::cell("%u", nodes),
+                      Table::cell("1.4.%d", version % 100),
+                      Table::cell("%.0f", lat.percentile(50)),
+                      Table::cell("%.0f", lat.percentile(99)),
+                      Table::cell("%.1f/%.1f", first.percentile(50),
+                                  first.percentile(99)),
+                      Table::cell("%.1f", server_cpu.asMillis())});
+            p99[i++] = first.percentile(99);
+
+            analysis::printCdf(
+                Table::cell("%u-node 1.4.%d tail (p97+)", nodes,
+                            version % 100),
+                lat.tailCdf(97.0), 10);
+        }
+        std::printf("first-request p99 delta (1.4.15 - 1.4.17) at %u "
+                    "nodes: %.1f us\n", nodes, p99[0] - p99[1]);
+    }
+    t.print();
+
+    std::printf(
+        "\npaper anchors: ~8 us p99 delta at 500 nodes; 345 us vs 145 us "
+        "p99 at\n2,000 nodes.  Our behavioural model reproduces the "
+        "direction and the\nscale amplification; the absolute gap is "
+        "smaller because only the\nmechanistic accept-path cost is "
+        "modeled (see EXPERIMENTS.md).\n");
+    return 0;
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation engine itself:
+ * event queue throughput, coroutine wakeup cost, RNG and statistics
+ * primitives, and the switch forwarding fast path.  These bound the
+ * software engine's achievable event rate (the quantity DIABLO's FPGA
+ * acceleration improves by two orders of magnitude).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/random.hh"
+#include "core/simulator.hh"
+#include "core/stats.hh"
+#include "net/link.hh"
+#include "switchm/voq_switch.hh"
+
+using namespace diablo;
+using namespace diablo::time_literals;
+
+namespace {
+
+void
+BM_EventScheduleExecute(benchmark::State &state)
+{
+    Simulator sim;
+    int64_t n = 0;
+    for (auto _ : state) {
+        sim.schedule(1_ns, [&n] { ++n; });
+        sim.run();
+    }
+    benchmark::DoNotOptimize(n);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventScheduleExecute);
+
+void
+BM_EventQueueDepth(benchmark::State &state)
+{
+    const int depth = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        Simulator sim;
+        int64_t n = 0;
+        for (int i = 0; i < depth; ++i) {
+            sim.schedule(SimTime::ns(i % 97), [&n] { ++n; });
+        }
+        sim.run();
+        benchmark::DoNotOptimize(n);
+    }
+    state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_EventQueueDepth)->Arg(1024)->Arg(65536);
+
+Task<>
+sleeperLoop(Simulator &sim, int rounds)
+{
+    for (int i = 0; i < rounds; ++i) {
+        co_await sim.sleep(1_ns);
+    }
+}
+
+void
+BM_CoroutineSleepWake(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Simulator sim;
+        sim.spawn(sleeperLoop(sim, 1000));
+        sim.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CoroutineSleepWake);
+
+void
+BM_RngUniform(benchmark::State &state)
+{
+    Rng rng(42);
+    double acc = 0;
+    for (auto _ : state) {
+        acc += rng.uniform();
+    }
+    benchmark::DoNotOptimize(acc);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngUniform);
+
+void
+BM_GeneralizedPareto(benchmark::State &state)
+{
+    Rng rng(42);
+    double acc = 0;
+    for (auto _ : state) {
+        acc += rng.generalizedPareto(0, 214.476, 0.348238);
+    }
+    benchmark::DoNotOptimize(acc);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GeneralizedPareto);
+
+void
+BM_SampleSetPercentile(benchmark::State &state)
+{
+    SampleSet s;
+    Rng rng(7);
+    for (int i = 0; i < 100000; ++i) {
+        s.record(rng.exponential(100));
+    }
+    for (auto _ : state) {
+        // Insert invalidates the sort cache; this measures the
+        // sort + interpolate cost benches pay once per run.
+        s.record(1.0);
+        benchmark::DoNotOptimize(s.percentile(99));
+    }
+}
+BENCHMARK(BM_SampleSetPercentile);
+
+void
+BM_SwitchForwarding(benchmark::State &state)
+{
+    Simulator sim;
+    switchm::SwitchParams params;
+    params.num_ports = 16;
+    params.buffer_per_port_bytes = 1 << 20;
+    params.port_latency = 1_us;
+    switchm::VoqSwitch sw(sim, params);
+
+    struct NullSink : net::PacketSink {
+        void receive(net::PacketPtr) override {}
+    } sink;
+    std::vector<std::unique_ptr<net::Link>> links;
+    for (uint32_t i = 0; i < 16; ++i) {
+        links.push_back(std::make_unique<net::Link>(
+            sim, "out", Bandwidth::gbps(10), 0_ns));
+        links.back()->connectTo(sink);
+        sw.attachOutLink(i, *links.back());
+    }
+
+    uint64_t pkts = 0;
+    for (auto _ : state) {
+        auto p = net::makePacket();
+        p->flow.proto = net::Proto::Udp;
+        p->payload_bytes = 1400;
+        p->route = net::SourceRoute(
+            {static_cast<uint16_t>(pkts % 16)});
+        p->last_bit = sim.now();
+        sw.inPort(static_cast<uint32_t>(pkts % 16))
+            .receive(std::move(p));
+        sim.run();
+        ++pkts;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwitchForwarding);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Table 1: "Workload in recent SIGCOMM papers" — 16 microbenchmark,
+ * 3 trace, 2 application papers.
+ */
+
+#include "analysis/report.hh"
+#include "analysis/survey.hh"
+#include "bench/bench_util.hh"
+
+using namespace diablo;
+using namespace diablo::analysis;
+
+int
+main()
+{
+    bench::banner("Table 1: workload types in surveyed SIGCOMM papers",
+                  "Table 1 (16 microbenchmark / 3 trace / 2 application)");
+
+    int micro = 0, trace = 0, app = 0;
+    for (const auto &e : sigcommSurvey()) {
+        switch (e.workload) {
+          case SurveyWorkload::Microbenchmark: ++micro; break;
+          case SurveyWorkload::Trace: ++trace; break;
+          case SurveyWorkload::Application: ++app; break;
+        }
+    }
+
+    Table t({"Types", "Microbenchmark", "Trace", "Application"});
+    t.addRow({"Number of Papers", Table::cell("%d", micro),
+              Table::cell("%d", trace), Table::cell("%d", app)});
+    t.print();
+
+    std::printf("\npaper reference row:      16                3       2\n");
+    std::printf("match: %s\n",
+                (micro == 16 && trace == 3 && app == 2) ? "EXACT" : "NO");
+    return 0;
+}

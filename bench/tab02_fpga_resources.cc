@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Table 2: "Rack FPGA resource utilization on Xilinx Virtex-5 LX155T
+ * after place and route" — regenerated from the parametric FPGA
+ * resource model, plus the scaling projections the model supports.
+ */
+
+#include "analysis/report.hh"
+#include "bench/bench_util.hh"
+#include "fame/resource_model.hh"
+
+using namespace diablo;
+using namespace diablo::fame;
+using analysis::Table;
+
+namespace {
+
+std::vector<std::string>
+row(const char *name, const Resources &r)
+{
+    return {name, Table::cell("%.0f", r.lut), Table::cell("%.0f", r.reg),
+            Table::cell("%.0f", r.bram), Table::cell("%.0f", r.lutram)};
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table 2: Rack FPGA resource utilization",
+                  "Table 2 (Virtex-5 LX155T, 4x32-thread pipelines)");
+
+    ResourceModel m;
+    const HostConfig cfg = HostConfig::rackFpga();
+
+    Table t({"Component Name", "LUT", "Register", "BRAM", "LUTRAM"});
+    t.addRow(row("Server Models",
+                 m.serverModels(cfg.server_pipelines,
+                                cfg.threads_per_pipeline)));
+    t.addRow(row("NIC Models", m.nicModels(cfg.nic_models)));
+    t.addRow(row("Rack Switch Models",
+                 m.switchModels(cfg.switch_models, cfg.switch_ports)));
+    t.addRow(row("Miscellaneous", m.miscellaneous()));
+    t.addRow(row("Total", m.estimate(cfg)));
+    t.print();
+
+    std::printf("\npaper Table 2:  Server 28445/37463/96/6584, "
+                "NIC 9467/4785/10/752,\n  Switch 4511/3482/52/345, "
+                "Misc 3395/16052/31/5058, Total 45818/62811*/189/12739\n");
+    std::printf("  (*the paper's register total exceeds its own column "
+                "sum by 1029;\n   this model reproduces the component "
+                "rows exactly)\n\n");
+
+    const FpgaDevice v5 = FpgaDevice::virtex5Lx155t();
+    std::printf("scarcest-resource utilization on %s: %.0f%% of raw "
+                "LUTs/FFs\n(paper: 95%% of logic slices occupied after "
+                "routing, 90 MHz host clock)\n", v5.name.c_str(),
+                100 * m.worstUtilization(cfg, v5));
+    std::printf("max threads/pipeline that fit: %u (deployed: 32, 31 "
+                "used for servers)\n", m.maxThreadsThatFit(cfg, v5));
+
+    const FpgaDevice modern = FpgaDevice::ultrascale20nm();
+    std::printf("\n2015 20nm-device projection: %u threads/pipeline "
+                "would fit (paper SS3.4:\n32,000 nodes on 32 FPGAs)\n",
+                m.maxThreadsThatFit(cfg, modern));
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Cost comparison (paper SS1 and SS3.4): the DIABLO prototype and its
+ * 2015 scaling projection versus an equivalent real WSC array.
+ */
+
+#include "bench/bench_util.hh"
+#include "fame/cost_model.hh"
+
+using namespace diablo;
+using namespace diablo::bench;
+using analysis::Table;
+
+int
+main()
+{
+    banner("Cost model: DIABLO vs a real WSC array",
+           "SS1/SS3.4 - $140K prototype; $150K @32K nodes; $36M CAPEX + "
+           "$800K/mo OPEX array");
+
+    fame::CostModel m;
+    const fame::WscCostParams wsc{};
+
+    Table t({"system", "nodes", "capex", "opex/month"});
+
+    // The built prototype: 9 BEE3 boards.
+    {
+        auto p = fame::DiabloCostParams::bee3Prototype();
+        double capex = 9 * p.board_cost_usd + p.infrastructure_usd;
+        t.addRow({"DIABLO prototype (9 BEE3 boards)", "2976",
+                  Table::cell("$%.0fK", capex / 1e3), "~$1K (1.5 kW)"});
+    }
+    // Scaled BEE3 system from the paper: 13 more boards.
+    {
+        auto p = fame::DiabloCostParams::bee3Prototype();
+        double capex = 22 * p.board_cost_usd + p.infrastructure_usd;
+        t.addRow({"DIABLO scaled BEE3 (22 boards)", "11904",
+                  Table::cell("$%.0fK", capex / 1e3), "~$2K"});
+    }
+    // 2015 projection.
+    {
+        auto p = fame::DiabloCostParams::board2015();
+        t.addRow({"DIABLO 2015 (32 x 20nm FPGAs)", "32000",
+                  Table::cell("$%.0fK",
+                              m.diabloCapexUsd(32000, p) / 1e3),
+                  "~$2K"});
+    }
+    // The real arrays.
+    for (uint32_t nodes : {11904u, 32000u}) {
+        t.addRow({"real WSC array", Table::cell("%u", nodes),
+                  Table::cell("$%.1fM", m.wscCapexUsd(nodes, wsc) / 1e6),
+                  Table::cell("$%.0fK/mo",
+                              m.wscOpexPerMonthUsd(nodes, wsc) / 1e3)});
+    }
+    t.print();
+
+    std::printf("\npaper anchors: $15K/BEE3, ~$140K prototype; $150K for "
+                "a 32,000-node\n2015 system; $36M CAPEX + $800K/month "
+                "OPEX for the equivalent real array\n(reproduced above); "
+                "CAPEX ratio at 32K nodes: %.0fx.\n",
+                m.wscCapexUsd(32000, wsc) /
+                    m.diabloCapexUsd(32000,
+                                     fame::DiabloCostParams::board2015()));
+    return 0;
+}

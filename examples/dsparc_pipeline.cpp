@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The FAME-7 host-multithreading story in one runnable page.
+ *
+ * Loads the same dSPARC program (an iterative Fibonacci that walks
+ * target memory) into 1, 8 and 32 hardware-thread contexts of one host
+ * pipeline and shows how multithreading converts host-DRAM stall slots
+ * into useful target work — the mechanism behind RAMP Gold's (and
+ * DIABLO's) simulation throughput.
+ *
+ *   $ ./build/examples/dsparc_pipeline
+ */
+
+#include <cstdio>
+
+#include "isa/assembler.hh"
+#include "isa/pipeline.hh"
+
+using namespace diablo;
+using namespace diablo::isa;
+
+int
+main()
+{
+    const char *program = R"(
+        # fib(20) via memory, then print it
+        addi r1, r0, 0
+        addi r2, r0, 1
+        st   r1, 0(r0)
+        st   r2, 4(r0)
+        addi r5, r0, 2
+        addi r6, r0, 21
+    loop:
+        slli r7, r5, 2
+        ld   r8, -8(r7)
+        ld   r9, -4(r7)
+        add  r10, r8, r9
+        st   r10, 0(r7)
+        addi r5, r5, 1
+        blt  r5, r6, loop
+        addi r7, r0, 80
+        ld   r2, 0(r7)     # fib(20)
+        addi r1, r0, 2     # putint service
+        ecall
+        addi r1, r0, 10    # exit
+        addi r2, r0, 0
+        ecall
+    )";
+
+    TimingModel timing;        // fixed CPI = 1 per class
+    PipelineParams host;
+    host.host_mem_stall_cycles = 16; // host DRAM latency to hide
+
+    std::printf("dSPARC FAME-7 pipeline: same program, growing thread "
+                "count\n\n");
+    std::printf("%8s %12s %14s %12s %16s\n", "threads", "host cycles",
+                "target instrs", "utilization", "instrs/host-cyc");
+    for (uint32_t threads : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        HostPipeline pipe(threads, 256, timing, host);
+        for (uint32_t t = 0; t < threads; ++t) {
+            pipe.load(t, assemble(program));
+        }
+        pipe.runToCompletion();
+        std::printf("%8u %12llu %14llu %11.0f%% %16.2f\n", threads,
+                    static_cast<unsigned long long>(pipe.hostCycles()),
+                    static_cast<unsigned long long>(
+                        pipe.instructionsRetired()),
+                    100 * pipe.utilization(),
+                    static_cast<double>(pipe.instructionsRetired()) /
+                        static_cast<double>(pipe.hostCycles()));
+    }
+
+    // Show the functional result is what it should be.
+    HostPipeline check(1, 256, timing, host);
+    check.load(0, assemble(program));
+    check.runToCompletion();
+    std::printf("\nprogram console output (fib(20)): %s\n",
+                check.state(0).console.c_str());
+    std::printf("\nThe single-thread pipeline idles during host-DRAM "
+                "stalls; at 32 threads\nevery stall slot is filled with "
+                "another target's instruction — DIABLO's\nhost-"
+                "multithreading (paper SS3.1) and the basis of its "
+                "simulation rate.\n");
+    return 0;
+}

@@ -1,0 +1,176 @@
+#include "analysis/report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+#include "core/log.hh"
+
+namespace diablo {
+namespace analysis {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size()) {
+        panic("Table: row has %zu cells, expected %zu", cells.size(),
+              headers_.size());
+    }
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::cell(const char *fmt, ...)
+{
+    char buf[128];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    return buf;
+}
+
+std::string
+Table::str() const
+{
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        width[c] = headers_[c].size();
+    }
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            width[c] = std::max(width[c], row[c].size());
+        }
+    }
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::string out;
+        for (size_t c = 0; c < row.size(); ++c) {
+            out += "| ";
+            out += row[c];
+            out.append(width[c] - row[c].size() + 1, ' ');
+        }
+        out += "|\n";
+        return out;
+    };
+    std::string sep = "+";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        sep.append(width[c] + 2, '-');
+        sep += "+";
+    }
+    sep += "\n";
+
+    std::string out = sep + renderRow(headers_) + sep;
+    for (const auto &row : rows_) {
+        out += renderRow(row);
+    }
+    out += sep;
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(str().c_str(), stdout);
+}
+
+void
+printCdf(const std::string &label,
+         const std::vector<SampleSet::CdfPoint> &cdf, size_t max_points)
+{
+    std::printf("CDF %s (%zu distinct points)\n", label.c_str(),
+                cdf.size());
+    if (cdf.empty()) {
+        return;
+    }
+    const size_t stride = std::max<size_t>(1, cdf.size() / max_points);
+    for (size_t i = 0; i < cdf.size(); i += stride) {
+        std::printf("  %12.1f  %.5f\n", cdf[i].x, cdf[i].cum);
+    }
+    if ((cdf.size() - 1) % stride != 0) {
+        std::printf("  %12.1f  %.5f\n", cdf.back().x, cdf.back().cum);
+    }
+}
+
+void
+printPmf(const std::string &label,
+         const std::vector<SampleSet::PmfBin> &pmf)
+{
+    std::printf("PMF %s\n", label.c_str());
+    for (const auto &b : pmf) {
+        if (b.mass > 0) {
+            std::printf("  [%10.1f, %10.1f)  %.5f\n", b.lo, b.hi, b.mass);
+        }
+    }
+}
+
+void
+asciiPlot(const std::string &title, const std::vector<Series> &series,
+          int width, int height, bool log_x)
+{
+    std::printf("%s\n", title.c_str());
+    double xmin = 1e300, xmax = -1e300, ymin = 0.0, ymax = -1e300;
+    for (const auto &s : series) {
+        for (auto [x, y] : s.points) {
+            double xv = log_x ? std::log10(std::max(x, 1e-12)) : x;
+            xmin = std::min(xmin, xv);
+            xmax = std::max(xmax, xv);
+            ymax = std::max(ymax, y);
+        }
+    }
+    if (ymax <= ymin || xmax <= xmin) {
+        std::printf("  (insufficient data to plot)\n");
+        return;
+    }
+    std::vector<std::string> grid(static_cast<size_t>(height),
+                                  std::string(static_cast<size_t>(width),
+                                              ' '));
+    const char *marks = "*o+x#@&%";
+    for (size_t si = 0; si < series.size(); ++si) {
+        for (auto [x, y] : series[si].points) {
+            double xv = log_x ? std::log10(std::max(x, 1e-12)) : x;
+            int col = static_cast<int>((xv - xmin) / (xmax - xmin) *
+                                       (width - 1));
+            int row = static_cast<int>((y - ymin) / (ymax - ymin) *
+                                       (height - 1));
+            row = height - 1 - std::clamp(row, 0, height - 1);
+            col = std::clamp(col, 0, width - 1);
+            grid[static_cast<size_t>(row)][static_cast<size_t>(col)] =
+                marks[si % 8];
+        }
+    }
+    for (int r = 0; r < height; ++r) {
+        double yv = ymin + (ymax - ymin) *
+                               (height - 1 - r) / (height - 1);
+        std::printf("%10.1f |%s\n", yv, grid[static_cast<size_t>(r)].c_str());
+    }
+    std::printf("%10s +%s\n", "", std::string(static_cast<size_t>(width),
+                                              '-').c_str());
+    if (log_x) {
+        std::printf("%10s  10^%.1f .. 10^%.1f\n", "", xmin, xmax);
+    } else {
+        std::printf("%10s  %.1f .. %.1f\n", "", xmin, xmax);
+    }
+    for (size_t si = 0; si < series.size(); ++si) {
+        std::printf("  '%c' = %s\n", marks[si % 8],
+                    series[si].name.c_str());
+    }
+}
+
+std::string
+latencySummary(const SampleSet &s)
+{
+    return strprintf(
+        "n=%zu p50=%.0f p90=%.0f p95=%.0f p99=%.0f p99.9=%.0f max=%.0f "
+        "mean=%.0f (us)",
+        s.count(), s.percentile(50), s.percentile(90), s.percentile(95),
+        s.percentile(99), s.percentile(99.9), s.max(), s.mean());
+}
+
+} // namespace analysis
+} // namespace diablo

@@ -1,0 +1,71 @@
+#ifndef DIABLO_ANALYSIS_REPORT_HH_
+#define DIABLO_ANALYSIS_REPORT_HH_
+
+/**
+ * @file
+ * Rendering helpers for the benchmark harnesses: fixed-width tables,
+ * CDF/PMF series dumps, and ASCII plots, so every bench binary prints
+ * the same rows/series the paper's tables and figures report.
+ */
+
+#include <string>
+#include <vector>
+
+#include "core/stats.hh"
+
+namespace diablo {
+namespace analysis {
+
+/** Fixed-width text table with a header row. */
+class Table {
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; each cell already formatted. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: printf-style single cell. */
+    static std::string cell(const char *fmt, ...)
+        __attribute__((format(printf, 1, 2)));
+
+    /** Render with column alignment. */
+    std::string str() const;
+
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Print a CDF as "x cum" pairs, decimated to at most @p max_points
+ * (always keeping the first and last), suitable for replotting.
+ */
+void printCdf(const std::string &label,
+              const std::vector<SampleSet::CdfPoint> &cdf,
+              size_t max_points = 40);
+
+/** Print a log-binned PMF as "lo hi mass" rows. */
+void printPmf(const std::string &label,
+              const std::vector<SampleSet::PmfBin> &pmf);
+
+/**
+ * ASCII scatter/line plot of one or more series on a log-x axis.
+ * Each series is a vector of (x, y); y is linear.
+ */
+struct Series {
+    std::string name;
+    std::vector<std::pair<double, double>> points;
+};
+
+void asciiPlot(const std::string &title, const std::vector<Series> &series,
+               int width = 72, int height = 20, bool log_x = false);
+
+/** Standard percentile summary line for a latency sample set. */
+std::string latencySummary(const SampleSet &s);
+
+} // namespace analysis
+} // namespace diablo
+
+#endif // DIABLO_ANALYSIS_REPORT_HH_

@@ -1,0 +1,55 @@
+#include "analysis/survey.hh"
+
+#include <algorithm>
+
+namespace diablo {
+namespace analysis {
+
+const std::vector<SurveyEntry> &
+sigcommSurvey()
+{
+    using W = SurveyWorkload;
+    // 21 papers: 16 microbenchmark, 3 trace, 2 application (Table 1);
+    // medians: 16 servers, 6 switches (Figure 2 discussion).
+    static const std::vector<SurveyEntry> entries = {
+        {"policy-aware switching", 2008, 4, 3, W::Microbenchmark},
+        {"DCell-style testbed", 2008, 20, 5, W::Microbenchmark},
+        {"VL2", 2009, 80, 10, W::Trace},
+        {"BCube", 2009, 16, 8, W::Microbenchmark},
+        {"PortLand", 2009, 20, 20, W::Microbenchmark},
+        {"fine-grained TCP RTO", 2009, 16, 1, W::Microbenchmark},
+        {"ElasticTree-style", 2010, 10, 5, W::Trace},
+        {"c-Through", 2010, 16, 4, W::Microbenchmark},
+        {"Hedera-style", 2010, 20, 14, W::Microbenchmark},
+        {"DCTCP-style", 2010, 45, 6, W::Application},
+        {"Orchestra", 2011, 100, 25, W::Microbenchmark},
+        {"MPTCP-DC", 2011, 24, 9, W::Microbenchmark},
+        {"RAMCloud recovery", 2011, 60, 5, W::Application},
+        {"OpenFlow control plane", 2011, 2, 2, W::Microbenchmark},
+        {"DeTail-style", 2012, 16, 9, W::Microbenchmark},
+        {"PDQ/D3-style", 2012, 12, 1, W::Microbenchmark},
+        {"HULL-style", 2012, 10, 6, W::Microbenchmark},
+        {"Jellyfish-style", 2012, 8, 20, W::Microbenchmark},
+        {"pFabric-style", 2013, 3, 1, W::Microbenchmark},
+        {"zUpdate-style", 2013, 14, 22, W::Trace},
+        {"EyeQ-style", 2013, 16, 6, W::Microbenchmark},
+    };
+    return entries;
+}
+
+double
+medianOf(std::vector<double> values)
+{
+    if (values.empty()) {
+        return 0.0;
+    }
+    std::sort(values.begin(), values.end());
+    const size_t n = values.size();
+    if (n % 2 == 1) {
+        return values[n / 2];
+    }
+    return (values[n / 2 - 1] + values[n / 2]) / 2.0;
+}
+
+} // namespace analysis
+} // namespace diablo

@@ -1,0 +1,46 @@
+#ifndef DIABLO_ANALYSIS_SURVEY_HH_
+#define DIABLO_ANALYSIS_SURVEY_HH_
+
+/**
+ * @file
+ * The paper's SIGCOMM 2008-2013 datacenter-networking survey (Figure 2
+ * and Table 1).
+ *
+ * The paper reports aggregate statistics — a median physical testbed of
+ * 16 servers and 6 switches across the surveyed papers, and a workload
+ * split of 16 microbenchmark / 3 trace / 2 application papers — but not
+ * the underlying list.  The dataset here is reconstructed to be
+ * consistent with every aggregate the paper states (and with the sizes
+ * of the well-known systems in its bibliography); the bench reproduces
+ * the figure/table from it.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace diablo {
+namespace analysis {
+
+/** Workload class used in a surveyed paper's evaluation. */
+enum class SurveyWorkload { Microbenchmark, Trace, Application };
+
+/** One surveyed SIGCOMM paper's physical testbed. */
+struct SurveyEntry {
+    std::string name;     ///< system/paper identifier
+    int year;
+    uint32_t servers;     ///< physical testbed servers (VMs counted)
+    uint32_t switches;    ///< maximum switches (optimistic, per paper)
+    SurveyWorkload workload;
+};
+
+/** The reconstructed survey dataset. */
+const std::vector<SurveyEntry> &sigcommSurvey();
+
+/** Median helper over an extracted field. */
+double medianOf(std::vector<double> values);
+
+} // namespace analysis
+} // namespace diablo
+
+#endif // DIABLO_ANALYSIS_SURVEY_HH_

@@ -1,0 +1,43 @@
+#ifndef DIABLO_APPS_APP_UTIL_HH_
+#define DIABLO_APPS_APP_UTIL_HH_
+
+/**
+ * @file
+ * Small shared helpers for application models.
+ */
+
+#include "core/task.hh"
+#include "os/kernel.hh"
+
+namespace diablo {
+namespace apps {
+
+/**
+ * Create a TCP socket and connect to (dst, port), retrying refused
+ * connections with a backoff — what production clients do when racing a
+ * service that is still binding its listener at startup.
+ *
+ * Returns the connected fd, or a negative errno after @p max_attempts.
+ */
+inline Task<long>
+connectWithRetry(os::Kernel &k, os::Thread &t, net::NodeId dst,
+                 uint16_t port, uint32_t max_attempts = 30,
+                 SimTime backoff = SimTime::ms(1))
+{
+    long rc = os::err::kConnRefused;
+    for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+        long fd = co_await k.sysSocket(t, net::Proto::Tcp);
+        rc = co_await k.sysConnect(t, static_cast<int>(fd), dst, port);
+        if (rc == 0) {
+            co_return fd;
+        }
+        co_await k.sysClose(t, static_cast<int>(fd));
+        co_await k.sim().sleep(backoff);
+    }
+    co_return rc;
+}
+
+} // namespace apps
+} // namespace diablo
+
+#endif // DIABLO_APPS_APP_UTIL_HH_

@@ -1,0 +1,46 @@
+#include "apps/background_noise.hh"
+
+#include <algorithm>
+
+namespace diablo {
+namespace apps {
+
+namespace {
+
+Task<>
+noiseDaemon(os::Kernel &k, NoiseParams p, Rng rng)
+{
+    os::Thread &t = k.createThread("noised");
+    while (true) {
+        co_await k.sim().sleep(SimTime::seconds(
+            rng.exponential(p.interval_mean.asSeconds())));
+        const double scale = rng.pareto(1.0, p.burst_pareto_alpha);
+        const auto burst = static_cast<uint64_t>(
+            std::min(static_cast<double>(p.burst_max_cycles),
+                     static_cast<double>(p.burst_cycles) * scale));
+        co_await t.compute(burst);
+    }
+}
+
+} // namespace
+
+void
+installBackgroundNoise(sim::Cluster &cluster, net::NodeId node,
+                       const NoiseParams &params)
+{
+    cluster.kernel(node).spawnProcess(noiseDaemon(
+        cluster.kernel(node), params,
+        cluster.rng().fork(node).fork("noise")));
+}
+
+void
+installBackgroundNoiseEverywhere(sim::Cluster &cluster,
+                                 const NoiseParams &params)
+{
+    for (uint32_t n = 0; n < cluster.size(); ++n) {
+        installBackgroundNoise(cluster, n, params);
+    }
+}
+
+} // namespace apps
+} // namespace diablo

@@ -1,0 +1,51 @@
+#ifndef DIABLO_APPS_BACKGROUND_NOISE_HH_
+#define DIABLO_APPS_BACKGROUND_NOISE_HH_
+
+/**
+ * @file
+ * Background-daemon interference model.
+ *
+ * The paper notes that its simulated 120-node cluster "is a more ideal
+ * environment with less software services running in the background.
+ * Therefore, there are fewer requests falling into the tail compared to
+ * a real system."  This optional model injects that missing reality: a
+ * periodic daemon (log flusher, monitoring agent, kswapd) that grabs the
+ * CPU for a burst at random intervals, lengthening whatever request had
+ * the bad luck of sharing the core.  Off by default, exactly like the
+ * paper's simulations.
+ */
+
+#include "sim/cluster.hh"
+
+namespace diablo {
+namespace apps {
+
+/** Interference knobs. */
+struct NoiseParams {
+    /** Mean exponential gap between daemon wakeups. */
+    SimTime interval_mean = SimTime::ms(100);
+    /** Minimum cycles burned per wakeup. */
+    uint64_t burst_cycles = 400000; ///< 100 us at 4 GHz
+    /**
+     * Bursts are Pareto-distributed (burst_cycles * Pareto(1, alpha)):
+     * most wakeups are short, but occasional log flushes / cron jobs
+     * monopolize the core for milliseconds — the orders-of-magnitude
+     * stragglers real shared clusters exhibit.
+     */
+    double burst_pareto_alpha = 1.3;
+    /** Cap on a single burst. */
+    uint64_t burst_max_cycles = 40000000; ///< 10 ms at 4 GHz
+};
+
+/** Install one background daemon on @p node. */
+void installBackgroundNoise(sim::Cluster &cluster, net::NodeId node,
+                            const NoiseParams &params);
+
+/** Install the daemon on every node of the cluster. */
+void installBackgroundNoiseEverywhere(sim::Cluster &cluster,
+                                      const NoiseParams &params);
+
+} // namespace apps
+} // namespace diablo
+
+#endif // DIABLO_APPS_BACKGROUND_NOISE_HH_

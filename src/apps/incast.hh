@@ -1,0 +1,84 @@
+#ifndef DIABLO_APPS_INCAST_HH_
+#define DIABLO_APPS_INCAST_HH_
+
+/**
+ * @file
+ * TCP Incast benchmark (paper §4.1).
+ *
+ * The many-to-one pattern of scale-out storage: one client requests a
+ * fixed-size block from each of N servers over TCP; all servers respond
+ * at once through the client's ToR port, overrunning shallow switch
+ * buffers, and application goodput collapses once TCP retransmission
+ * timeouts (200 ms min RTO) begin to dominate.  Matches the R2D2-style
+ * test program the paper used [3][60].
+ *
+ * Two client service styles are modeled, because Figure 6(b) shows they
+ * change the result:
+ *  - pthread: one blocking client thread per server connection;
+ *  - epoll:   one thread multiplexing all connections through epoll.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "core/stats.hh"
+#include "sim/cluster.hh"
+
+namespace diablo {
+namespace apps {
+
+/** Incast run parameters. */
+struct IncastParams {
+    uint64_t block_bytes = 256 * 1024; ///< per-server block per iteration
+    uint32_t iterations = 40;
+    /** Untimed initial iterations (connection/ssthresh warm-up). */
+    uint32_t warmup_iterations = 2;
+    bool use_epoll = false;
+    uint16_t port = 5001;
+    uint32_t request_bytes = 64;
+};
+
+/** Measured outcome. */
+struct IncastResult {
+    bool done = false;
+    uint64_t total_bytes = 0;
+    SimTime elapsed;                 ///< measured transfer phase only
+    SampleSet iteration_us;          ///< per-iteration completion times
+
+    /** Application-level goodput over the measured phase, Mbps. */
+    double goodputMbps() const
+    {
+        if (elapsed.isZero()) {
+            return 0.0;
+        }
+        return static_cast<double>(total_bytes) * 8.0 /
+               elapsed.asSeconds() / 1e6;
+    }
+};
+
+/**
+ * Installs the incast servers and client onto cluster nodes.  The
+ * result object must outlive the simulation run.
+ */
+class IncastApp {
+  public:
+    IncastApp(sim::Cluster &cluster, const IncastParams &params,
+              net::NodeId client, std::vector<net::NodeId> servers);
+
+    /** Spawn all processes; run the simulator afterwards. */
+    void install();
+
+    const IncastResult &result() const { return *result_; }
+
+  private:
+    sim::Cluster &cluster_;
+    IncastParams params_;
+    net::NodeId client_;
+    std::vector<net::NodeId> servers_;
+    std::shared_ptr<IncastResult> result_;
+};
+
+} // namespace apps
+} // namespace diablo
+
+#endif // DIABLO_APPS_INCAST_HH_

@@ -1,0 +1,93 @@
+#include "apps/mc_experiment.hh"
+
+#include <algorithm>
+
+#include "core/log.hh"
+
+namespace diablo {
+namespace apps {
+
+McExperiment::McExperiment(Simulator &sim,
+                           const McExperimentParams &params)
+    : sim_(sim), params_(params)
+{
+    cluster_ = std::make_unique<sim::Cluster>(sim, params_.cluster);
+    const uint32_t total = cluster_->size();
+    if (params_.num_servers >= total) {
+        fatal("McExperiment: %u servers need at least %u nodes",
+              params_.num_servers, params_.num_servers + 1);
+    }
+
+    // Spread server instances evenly across racks (paper: "distributed
+    // 128 memcached servers evenly across all 64 racks").
+    const uint32_t spr = params_.cluster.topo.servers_per_rack;
+    const uint32_t racks = total / spr;
+    server_nodes_.reserve(params_.num_servers);
+    for (uint32_t i = 0; i < params_.num_servers; ++i) {
+        const uint32_t rack = i % racks;
+        const uint32_t idx = i / racks;
+        if (idx >= spr) {
+            fatal("McExperiment: too many servers per rack");
+        }
+        server_nodes_.push_back(rack * spr + idx);
+    }
+    std::sort(server_nodes_.begin(), server_nodes_.end());
+}
+
+McExperiment::~McExperiment() = default;
+
+void
+McExperiment::run()
+{
+    for (net::NodeId s : server_nodes_) {
+        installMemcachedServer(*cluster_, s, params_.server);
+    }
+
+    const uint32_t total = cluster_->size();
+    std::vector<bool> is_server(total, false);
+    for (net::NodeId s : server_nodes_) {
+        is_server[s] = true;
+    }
+    for (uint32_t n = 0; n < total; ++n) {
+        if (is_server[n]) {
+            continue;
+        }
+        auto stats = std::make_shared<McClientStats>();
+        client_stats_.push_back(stats);
+        installMemcachedClient(*cluster_, n, server_nodes_,
+                               params_.client, stats);
+    }
+
+    const SimTime start = sim_.now();
+    auto all_done = [this] {
+        for (const auto &s : client_stats_) {
+            if (!s->done) {
+                return false;
+            }
+        }
+        return true;
+    };
+    // Servers and daemons run forever; stop once every client finished.
+    while (!all_done()) {
+        if (sim_.idle()) {
+            panic("McExperiment: deadlock — clients not done, no events");
+        }
+        sim_.executeNext();
+    }
+    result_.elapsed = sim_.now() - start;
+    result_.clients = static_cast<uint32_t>(client_stats_.size());
+    result_.servers = static_cast<uint32_t>(server_nodes_.size());
+    for (const auto &s : client_stats_) {
+        result_.latency_us.merge(s->latency_us);
+        result_.first_request_us.merge(s->first_request_us);
+        for (int h = 0; h < 3; ++h) {
+            result_.latency_us_by_hop[h].merge(s->latency_us_by_hop[h]);
+        }
+        result_.udp_timeouts += s->udp_timeouts;
+        result_.udp_retries += s->udp_retries;
+        result_.requests_completed += s->requests_completed;
+    }
+}
+
+} // namespace apps
+} // namespace diablo

@@ -1,0 +1,73 @@
+#ifndef DIABLO_APPS_MC_EXPERIMENT_HH_
+#define DIABLO_APPS_MC_EXPERIMENT_HH_
+
+/**
+ * @file
+ * The paper's memcached experiment harness (Figure 7).
+ *
+ * Builds a cluster, distributes memcached server instances evenly across
+ * all racks "to minimize potential hot spots in the network", uses every
+ * remaining node as a closed-loop client sending requests to randomly
+ * selected servers, runs to completion, and aggregates client latency
+ * distributions (overall and per hop class).
+ */
+
+#include <memory>
+#include <vector>
+
+#include "apps/memcached.hh"
+#include "sim/cluster.hh"
+
+namespace diablo {
+namespace apps {
+
+/** Full experiment description. */
+struct McExperimentParams {
+    sim::ClusterParams cluster = sim::ClusterParams::gige1us();
+    uint32_t num_servers = 128;
+    McServerParams server;
+    McClientParams client;
+};
+
+/** Aggregated measurements across all clients. */
+struct McExperimentResult {
+    SampleSet latency_us;
+    SampleSet latency_us_by_hop[3];
+    SampleSet first_request_us;
+    uint64_t udp_timeouts = 0;
+    uint64_t udp_retries = 0;
+    uint64_t requests_completed = 0;
+    SimTime elapsed;
+    uint32_t clients = 0;
+    uint32_t servers = 0;
+};
+
+/** Owns the cluster and all app state for one memcached run. */
+class McExperiment {
+  public:
+    McExperiment(Simulator &sim, const McExperimentParams &params);
+    ~McExperiment();
+
+    /** Install apps and run the simulation until every client is done. */
+    void run();
+
+    const McExperimentResult &result() const { return result_; }
+    sim::Cluster &cluster() { return *cluster_; }
+    const std::vector<net::NodeId> &serverNodes() const
+    {
+        return server_nodes_;
+    }
+
+  private:
+    Simulator &sim_;
+    McExperimentParams params_;
+    std::unique_ptr<sim::Cluster> cluster_;
+    std::vector<net::NodeId> server_nodes_;
+    std::vector<std::shared_ptr<McClientStats>> client_stats_;
+    McExperimentResult result_;
+};
+
+} // namespace apps
+} // namespace diablo
+
+#endif // DIABLO_APPS_MC_EXPERIMENT_HH_

@@ -1,0 +1,72 @@
+#include "apps/workload.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace diablo {
+namespace apps {
+
+EtcWorkloadParams
+EtcWorkloadParams::fromConfig(const Config &cfg, const std::string &prefix)
+{
+    EtcWorkloadParams p;
+    p.get_ratio = cfg.getDouble(prefix + "get_ratio", p.get_ratio);
+    p.key_mu = cfg.getDouble(prefix + "key_mu", p.key_mu);
+    p.key_sigma = cfg.getDouble(prefix + "key_sigma", p.key_sigma);
+    p.key_min = static_cast<uint32_t>(
+        cfg.getUint(prefix + "key_min", p.key_min));
+    p.key_max = static_cast<uint32_t>(
+        cfg.getUint(prefix + "key_max", p.key_max));
+    p.value_gp_scale =
+        cfg.getDouble(prefix + "value_gp_scale", p.value_gp_scale);
+    p.value_gp_shape =
+        cfg.getDouble(prefix + "value_gp_shape", p.value_gp_shape);
+    p.tiny_value_fraction = cfg.getDouble(prefix + "tiny_value_fraction",
+                                          p.tiny_value_fraction);
+    p.value_min = static_cast<uint32_t>(
+        cfg.getUint(prefix + "value_min", p.value_min));
+    p.value_max = static_cast<uint32_t>(
+        cfg.getUint(prefix + "value_max", p.value_max));
+    p.keys_per_server =
+        cfg.getUint(prefix + "keys_per_server", p.keys_per_server);
+    p.zipf_skew = cfg.getDouble(prefix + "zipf_skew", p.zipf_skew);
+    return p;
+}
+
+EtcWorkload::EtcWorkload(const EtcWorkloadParams &params, Rng rng)
+    : params_(params), rng_(rng),
+      zipf_(params.keys_per_server, params.zipf_skew)
+{
+}
+
+uint32_t
+EtcWorkload::valueSizeFor(uint64_t server_id, uint64_t key_id) const
+{
+    // Deterministic per (server, key): a real store returns the same
+    // value size every time a key is read.
+    Rng r(0x5EED0000u ^ (server_id * 0x9E3779B97F4A7C15ULL) ^
+          (key_id * 0xC2B2AE3D27D4EB4FULL));
+    if (r.uniform() < params_.tiny_value_fraction) {
+        return static_cast<uint32_t>(r.uniformInt(params_.value_min, 10));
+    }
+    double v = r.generalizedPareto(0.0, params_.value_gp_scale,
+                                   params_.value_gp_shape);
+    auto bytes = static_cast<uint32_t>(v);
+    return std::clamp(bytes, params_.value_min, params_.value_max);
+}
+
+GeneratedRequest
+EtcWorkload::next(uint64_t server_id)
+{
+    GeneratedRequest g;
+    g.is_get = rng_.bernoulli(params_.get_ratio);
+    g.key_id = zipf_.sample(rng_);
+    double k = rng_.lognormal(params_.key_mu, params_.key_sigma);
+    g.key_bytes = std::clamp(static_cast<uint32_t>(k), params_.key_min,
+                             params_.key_max);
+    g.value_bytes = valueSizeFor(server_id, g.key_id);
+    return g;
+}
+
+} // namespace apps
+} // namespace diablo

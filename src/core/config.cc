@@ -1,0 +1,160 @@
+#include "core/config.hh"
+
+#include <cstdlib>
+
+#include "core/log.hh"
+
+namespace diablo {
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+void
+Config::set(const std::string &key, const char *value)
+{
+    values_[key] = value;
+}
+
+void
+Config::set(const std::string &key, int64_t value)
+{
+    values_[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string &key, uint64_t value)
+{
+    values_[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string &key, int value)
+{
+    values_[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string &key, double value)
+{
+    values_[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string &key, bool value)
+{
+    values_[key] = value ? "true" : "false";
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &def) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+}
+
+int64_t
+Config::getInt(const std::string &key, int64_t def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+        return def;
+    }
+    char *end = nullptr;
+    int64_t v = std::strtoll(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0') {
+        fatal("Config: parameter '%s' = '%s' is not an integer",
+              key.c_str(), it->second.c_str());
+    }
+    return v;
+}
+
+uint64_t
+Config::getUint(const std::string &key, uint64_t def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+        return def;
+    }
+    char *end = nullptr;
+    uint64_t v = std::strtoull(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0') {
+        fatal("Config: parameter '%s' = '%s' is not an unsigned integer",
+              key.c_str(), it->second.c_str());
+    }
+    return v;
+}
+
+double
+Config::getDouble(const std::string &key, double def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+        return def;
+    }
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0') {
+        fatal("Config: parameter '%s' = '%s' is not a number",
+              key.c_str(), it->second.c_str());
+    }
+    return v;
+}
+
+bool
+Config::getBool(const std::string &key, bool def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+        return def;
+    }
+    const std::string &v = it->second;
+    if (v == "true" || v == "1" || v == "yes" || v == "on") {
+        return true;
+    }
+    if (v == "false" || v == "0" || v == "no" || v == "off") {
+        return false;
+    }
+    fatal("Config: parameter '%s' = '%s' is not a boolean",
+          key.c_str(), v.c_str());
+}
+
+bool
+Config::parseAssignment(const std::string &token)
+{
+    auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+        return false;
+    }
+    values_[token.substr(0, eq)] = token.substr(eq + 1);
+    return true;
+}
+
+void
+Config::merge(const Config &other)
+{
+    for (const auto &[k, v] : other.values_) {
+        values_[k] = v;
+    }
+}
+
+std::vector<std::string>
+Config::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto &[k, v] : values_) {
+        out.push_back(k);
+    }
+    return out;
+}
+
+} // namespace diablo

@@ -1,0 +1,63 @@
+#ifndef DIABLO_CORE_CONFIG_HH_
+#define DIABLO_CORE_CONFIG_HH_
+
+/**
+ * @file
+ * Runtime-configurable parameter store.
+ *
+ * DIABLO's models are parameterized at runtime so that design-space
+ * exploration never requires re-synthesis; the software analog is a typed
+ * key-value store with dotted parameter names ("switch.rack.buffer_bytes")
+ * that model constructors read with defaults.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace diablo {
+
+/** Typed key-value parameter store with dotted names. */
+class Config {
+  public:
+    Config() = default;
+
+    /** Set a parameter (stored as text, parsed on read). */
+    void set(const std::string &key, const std::string &value);
+    void set(const std::string &key, const char *value);
+    void set(const std::string &key, int64_t value);
+    void set(const std::string &key, uint64_t value);
+    void set(const std::string &key, int value);
+    void set(const std::string &key, double value);
+    void set(const std::string &key, bool value);
+
+    bool has(const std::string &key) const;
+
+    /** Typed getters; return @p def when the key is absent. */
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+    int64_t getInt(const std::string &key, int64_t def) const;
+    uint64_t getUint(const std::string &key, uint64_t def) const;
+    double getDouble(const std::string &key, double def) const;
+    bool getBool(const std::string &key, bool def) const;
+
+    /**
+     * Parse a "key=value" assignment (e.g. a command-line override).
+     * Returns false when the token is not of that form.
+     */
+    bool parseAssignment(const std::string &token);
+
+    /** Merge: entries in @p other override entries here. */
+    void merge(const Config &other);
+
+    /** All keys in sorted order (for dumping a run's configuration). */
+    std::vector<std::string> keys() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace diablo
+
+#endif // DIABLO_CORE_CONFIG_HH_

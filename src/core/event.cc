@@ -1,0 +1,60 @@
+#include "core/event.hh"
+
+#include "core/log.hh"
+
+namespace diablo {
+
+EventId
+EventQueue::schedule(SimTime when, EventFn fn, int8_t prio)
+{
+    uint64_t seq = next_seq_++;
+    heap_.push(Item{when, prio, seq});
+    pending_.emplace(seq, std::move(fn));
+    return EventId{seq};
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    if (!id.valid()) {
+        return;
+    }
+    pending_.erase(id.seq);
+    // The heap entry stays as a tombstone and is skipped at pop time.
+}
+
+void
+EventQueue::prune()
+{
+    while (!heap_.empty() && pending_.find(heap_.top().seq) ==
+                                 pending_.end()) {
+        heap_.pop();
+    }
+}
+
+SimTime
+EventQueue::nextTime()
+{
+    prune();
+    if (heap_.empty()) {
+        return SimTime::max();
+    }
+    return heap_.top().when;
+}
+
+std::pair<SimTime, EventFn>
+EventQueue::popNext()
+{
+    prune();
+    if (heap_.empty()) {
+        panic("EventQueue::popNext on empty queue");
+    }
+    Item item = heap_.top();
+    heap_.pop();
+    auto it = pending_.find(item.seq);
+    EventFn fn = std::move(it->second);
+    pending_.erase(it);
+    return {item.when, std::move(fn)};
+}
+
+} // namespace diablo

@@ -1,0 +1,108 @@
+#ifndef DIABLO_CORE_EVENT_HH_
+#define DIABLO_CORE_EVENT_HH_
+
+/**
+ * @file
+ * Deterministic discrete-event queue.
+ *
+ * Events at equal timestamps are ordered by (priority, insertion sequence),
+ * so a run is a pure function of the configuration and master seed — the
+ * software analog of DIABLO's "repeatable deterministic experiments".
+ */
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/time.hh"
+
+namespace diablo {
+
+/** Callback invoked when an event fires. */
+using EventFn = std::function<void()>;
+
+/** Handle for cancelling a scheduled event. */
+struct EventId {
+    uint64_t seq = 0;
+
+    bool valid() const { return seq != 0; }
+    void invalidate() { seq = 0; }
+};
+
+/** Priorities for same-timestamp ordering; lower runs first. */
+namespace event_prio {
+inline constexpr int8_t kTimer = -10;    ///< hardware/kernel timers
+inline constexpr int8_t kDefault = 0;
+inline constexpr int8_t kWakeup = 10;    ///< coroutine resumptions
+} // namespace event_prio
+
+/**
+ * Min-heap of timestamped callbacks with O(1) lazy cancellation.
+ */
+class EventQueue {
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Schedule @p fn at absolute time @p when. */
+    EventId schedule(SimTime when, EventFn fn,
+                     int8_t prio = event_prio::kDefault);
+
+    /**
+     * Cancel a previously scheduled event.  Safe to call for events that
+     * have already fired (no effect).
+     */
+    void cancel(EventId id);
+
+    bool empty() const { return pending_.empty(); }
+    size_t size() const { return pending_.size(); }
+
+    /** Timestamp of the next live event; SimTime::max() when empty. */
+    SimTime nextTime();
+
+    /**
+     * Pop and return the next live event.  Caller must check !empty().
+     * The callback is invoked by the caller (the Simulator), not by the
+     * queue, so partitioned engines can interpose.
+     */
+    std::pair<SimTime, EventFn> popNext();
+
+    /** Total events ever scheduled (for engine throughput reporting). */
+    uint64_t scheduledCount() const { return next_seq_ - 1; }
+
+  private:
+    struct Item {
+        SimTime when;
+        int8_t prio;
+        uint64_t seq;
+    };
+
+    struct ItemOrder {
+        bool
+        operator()(const Item &a, const Item &b) const
+        {
+            if (a.when != b.when) {
+                return a.when > b.when;
+            }
+            if (a.prio != b.prio) {
+                return a.prio > b.prio;
+            }
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Drop cancelled entries from the top of the heap. */
+    void prune();
+
+    std::priority_queue<Item, std::vector<Item>, ItemOrder> heap_;
+    std::unordered_map<uint64_t, EventFn> pending_;
+    uint64_t next_seq_ = 1;
+};
+
+} // namespace diablo
+
+#endif // DIABLO_CORE_EVENT_HH_

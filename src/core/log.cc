@@ -1,0 +1,116 @@
+#include "core/log.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace diablo {
+namespace log {
+
+namespace {
+
+Level g_level = Level::Warn;
+
+const char *
+levelName(Level lvl)
+{
+    switch (lvl) {
+      case Level::Trace: return "TRACE";
+      case Level::Debug: return "DEBUG";
+      case Level::Info:  return "INFO";
+      case Level::Warn:  return "WARN";
+      case Level::Error: return "ERROR";
+      case Level::Off:   return "OFF";
+    }
+    return "?";
+}
+
+void
+vlogf(Level lvl, const char *fmt, va_list ap)
+{
+    if (lvl < g_level) {
+        return;
+    }
+    std::fprintf(stderr, "[%s] ", levelName(lvl));
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+}
+
+} // namespace
+
+void setLevel(Level lvl) { g_level = lvl; }
+Level level() { return g_level; }
+
+void
+logf(Level lvl, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vlogf(lvl, fmt, ap);
+    va_end(ap);
+}
+
+#define DIABLO_LOG_FN(name, lvl)                                            \
+    void                                                                    \
+    name(const char *fmt, ...)                                              \
+    {                                                                       \
+        va_list ap;                                                         \
+        va_start(ap, fmt);                                                  \
+        vlogf(lvl, fmt, ap);                                                \
+        va_end(ap);                                                         \
+    }
+
+DIABLO_LOG_FN(trace, Level::Trace)
+DIABLO_LOG_FN(debug, Level::Debug)
+DIABLO_LOG_FN(inform, Level::Info)
+DIABLO_LOG_FN(warn, Level::Warn)
+DIABLO_LOG_FN(error, Level::Error)
+
+#undef DIABLO_LOG_FN
+
+} // namespace log
+
+void
+panic(const char *fmt, ...)
+{
+    std::fprintf(stderr, "panic: ");
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::fprintf(stderr, "fatal: ");
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+    std::exit(1);
+}
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::string out;
+    if (n > 0) {
+        std::vector<char> buf(static_cast<size_t>(n) + 1);
+        std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+        out.assign(buf.data(), static_cast<size_t>(n));
+    }
+    va_end(ap2);
+    return out;
+}
+
+} // namespace diablo

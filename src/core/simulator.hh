@@ -1,0 +1,178 @@
+#ifndef DIABLO_CORE_SIMULATOR_HH_
+#define DIABLO_CORE_SIMULATOR_HH_
+
+/**
+ * @file
+ * The discrete-event simulation engine.
+ *
+ * A Simulator owns the event queue and the root coroutine tasks of one
+ * simulation *partition*.  In the default configuration one Simulator
+ * models the entire target system (the software analog of running all of
+ * DIABLO on one FPGA); the FAME layer (src/fame) runs several partitions
+ * under a conservative barrier scheduler, mirroring the multi-FPGA
+ * deployment, with identical results.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "core/event.hh"
+#include "core/task.hh"
+#include "core/time.hh"
+
+namespace diablo {
+
+/** Discrete-event engine for one simulation partition. */
+class Simulator {
+  public:
+    Simulator() = default;
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+    ~Simulator();
+
+    /** Current simulated time. */
+    SimTime now() const { return now_; }
+
+    /** Schedule a callback @p delay after now. */
+    EventId
+    schedule(SimTime delay, EventFn fn, int8_t prio = event_prio::kDefault)
+    {
+        return queue_.schedule(now_ + delay, std::move(fn), prio);
+    }
+
+    /** Schedule a callback at absolute time @p when (must be >= now). */
+    EventId scheduleAt(SimTime when, EventFn fn,
+                       int8_t prio = event_prio::kDefault);
+
+    void cancel(EventId id) { queue_.cancel(id); }
+
+    /**
+     * Adopt a root coroutine task and start it at the current time (via
+     * the event queue, so spawn order at equal times is deterministic).
+     */
+    void spawn(Task<> task);
+
+    /** Awaitable that suspends the calling coroutine for @p delay. */
+    struct SleepAwaiter {
+        Simulator &sim;
+        SimTime delay;
+
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            sim.schedule(delay, [h] { h.resume(); }, event_prio::kWakeup);
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    SleepAwaiter sleep(SimTime delay) { return SleepAwaiter{*this, delay}; }
+
+    /** Run until the queue drains or stop() is called. */
+    void run();
+
+    /**
+     * Run all events with timestamp <= @p t, then set now to @p t.
+     * Used both by tests and by the FAME quantum scheduler.
+     */
+    void runUntil(SimTime t);
+
+    /**
+     * Run all events with timestamp strictly < @p t; the clock is left
+     * at the last executed event.  This is the partition-quantum step:
+     * events exactly at the quantum boundary belong to the next window,
+     * after cross-partition messages for that instant have arrived.
+     */
+    void runBefore(SimTime t);
+
+    /** Request that run()/runUntil() return after the current event. */
+    void stop() { stopped_ = true; }
+    bool stopped() const { return stopped_; }
+    void clearStop() { stopped_ = false; }
+
+    // --- stepping interface for the FAME partition runner ---
+
+    /** Timestamp of the next pending event; SimTime::max() when idle. */
+    SimTime nextEventTime() { return queue_.nextTime(); }
+
+    /** Execute exactly one event (caller checked one is pending). */
+    void executeNext();
+
+    bool idle() { return queue_.empty(); }
+
+    uint64_t executedEvents() const { return executed_; }
+    uint64_t scheduledEvents() const { return queue_.scheduledCount(); }
+
+  private:
+    void sweepTasks();
+
+    EventQueue queue_;
+    SimTime now_;
+    bool stopped_ = false;
+    uint64_t executed_ = 0;
+    std::vector<Task<>> tasks_;
+};
+
+/**
+ * One-shot, single-waiter synchronization cell.
+ *
+ * Kernel and device models complete a simulated-blocking operation by
+ * calling fulfill(); the waiting coroutine resumes through the event
+ * queue at the current time (never inline), preserving deterministic
+ * event ordering.  fulfill() is idempotent: the first call wins, which
+ * makes completion-vs-timeout races trivial to express.
+ */
+template <typename T>
+class OneShot {
+  public:
+    explicit OneShot(Simulator &sim) : sim_(sim) {}
+
+    OneShot(const OneShot &) = delete;
+    OneShot &operator=(const OneShot &) = delete;
+
+    bool fulfilled() const { return value_.has_value(); }
+
+    /** Complete the operation with @p v; only the first call has effect. */
+    void
+    fulfill(T v)
+    {
+        if (value_.has_value()) {
+            return;
+        }
+        value_.emplace(std::move(v));
+        if (waiter_) {
+            auto h = waiter_;
+            waiter_ = nullptr;
+            sim_.schedule(SimTime(), [h] { h.resume(); },
+                          event_prio::kWakeup);
+        }
+    }
+
+    bool await_ready() const noexcept { return value_.has_value(); }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        if (waiter_) {
+            panic("OneShot: second waiter");
+        }
+        waiter_ = h;
+    }
+
+    T
+    await_resume()
+    {
+        return std::move(*value_);
+    }
+
+  private:
+    Simulator &sim_;
+    std::coroutine_handle<> waiter_;
+    std::optional<T> value_;
+};
+
+} // namespace diablo
+
+#endif // DIABLO_CORE_SIMULATOR_HH_

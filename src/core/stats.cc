@@ -1,0 +1,236 @@
+#include "core/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/log.hh"
+
+namespace diablo {
+
+void
+RunningStats::record(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2) {
+        return 0.0;
+    }
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+SampleSet::record(double x)
+{
+    samples_.push_back(x);
+    sorted_valid_ = false;
+}
+
+double
+SampleSet::mean() const
+{
+    if (samples_.empty()) {
+        return 0.0;
+    }
+    double s = 0;
+    for (double x : samples_) {
+        s += x;
+    }
+    return s / static_cast<double>(samples_.size());
+}
+
+double
+SampleSet::min() const
+{
+    ensureSorted();
+    return sorted_.empty() ? 0.0 : sorted_.front();
+}
+
+double
+SampleSet::max() const
+{
+    ensureSorted();
+    return sorted_.empty() ? 0.0 : sorted_.back();
+}
+
+void
+SampleSet::ensureSorted() const
+{
+    if (!sorted_valid_) {
+        sorted_ = samples_;
+        std::sort(sorted_.begin(), sorted_.end());
+        sorted_valid_ = true;
+    }
+}
+
+double
+SampleSet::percentile(double p) const
+{
+    ensureSorted();
+    if (sorted_.empty()) {
+        return 0.0;
+    }
+    if (p <= 0) {
+        return sorted_.front();
+    }
+    if (p >= 100) {
+        return sorted_.back();
+    }
+    double idx = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+    size_t lo = static_cast<size_t>(idx);
+    double frac = idx - static_cast<double>(lo);
+    if (lo + 1 >= sorted_.size()) {
+        return sorted_.back();
+    }
+    return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+std::vector<SampleSet::CdfPoint>
+SampleSet::cdf() const
+{
+    ensureSorted();
+    std::vector<CdfPoint> out;
+    out.reserve(sorted_.size());
+    const double n = static_cast<double>(sorted_.size());
+    for (size_t i = 0; i < sorted_.size(); ++i) {
+        // Collapse runs of equal values into one point.
+        if (i + 1 < sorted_.size() && sorted_[i + 1] == sorted_[i]) {
+            continue;
+        }
+        out.push_back({sorted_[i], static_cast<double>(i + 1) / n});
+    }
+    return out;
+}
+
+std::vector<SampleSet::CdfPoint>
+SampleSet::tailCdf(double p_lo) const
+{
+    auto full = cdf();
+    std::vector<CdfPoint> out;
+    const double cut = p_lo / 100.0;
+    for (const auto &pt : full) {
+        if (pt.cum >= cut) {
+            out.push_back(pt);
+        }
+    }
+    return out;
+}
+
+std::vector<SampleSet::PmfBin>
+SampleSet::logPmf(int bins_per_decade) const
+{
+    ensureSorted();
+    std::vector<PmfBin> out;
+    if (sorted_.empty()) {
+        return out;
+    }
+    double lo = std::max(sorted_.front(), 1e-12);
+    double hi = std::max(sorted_.back(), lo * 1.0000001);
+    int first = static_cast<int>(
+        std::floor(std::log10(lo) * bins_per_decade));
+    int last = static_cast<int>(
+        std::ceil(std::log10(hi) * bins_per_decade));
+    int nbins = last - first + 1;
+    std::vector<uint64_t> counts(static_cast<size_t>(nbins), 0);
+    for (double x : sorted_) {
+        double v = std::max(x, 1e-12);
+        int b = static_cast<int>(
+            std::floor(std::log10(v) * bins_per_decade)) - first;
+        b = std::clamp(b, 0, nbins - 1);
+        counts[static_cast<size_t>(b)]++;
+    }
+    const double n = static_cast<double>(sorted_.size());
+    for (int b = 0; b < nbins; ++b) {
+        double e_lo = static_cast<double>(first + b) / bins_per_decade;
+        double e_hi = static_cast<double>(first + b + 1) / bins_per_decade;
+        out.push_back({std::pow(10.0, e_lo), std::pow(10.0, e_hi),
+                       static_cast<double>(counts[static_cast<size_t>(b)]) /
+                           n});
+    }
+    return out;
+}
+
+void
+SampleSet::merge(const SampleSet &other)
+{
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_valid_ = false;
+}
+
+LogHistogram::LogHistogram(double lo, double hi, int bins_per_decade)
+    : lo_(lo)
+{
+    if (lo <= 0 || hi <= lo || bins_per_decade <= 0) {
+        fatal("LogHistogram: invalid bin specification");
+    }
+    log_lo_ = std::log10(lo);
+    double decades = std::log10(hi) - log_lo_;
+    size_t nbins =
+        static_cast<size_t>(std::ceil(decades * bins_per_decade)) + 1;
+    inv_bin_width_ = bins_per_decade;
+    bins_.assign(nbins, 0);
+}
+
+void
+LogHistogram::record(double x)
+{
+    ++count_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    size_t b = static_cast<size_t>((std::log10(x) - log_lo_) *
+                                   inv_bin_width_);
+    if (b >= bins_.size()) {
+        ++overflow_;
+        return;
+    }
+    ++bins_[b];
+}
+
+double
+LogHistogram::percentile(double p) const
+{
+    if (count_ == 0) {
+        return 0.0;
+    }
+    uint64_t target = static_cast<uint64_t>(
+        p / 100.0 * static_cast<double>(count_));
+    uint64_t acc = underflow_;
+    if (acc >= target) {
+        return lo_;
+    }
+    for (size_t b = 0; b < bins_.size(); ++b) {
+        acc += bins_[b];
+        if (acc >= target) {
+            double e = log_lo_ + (static_cast<double>(b) + 0.5) /
+                                     inv_bin_width_;
+            return std::pow(10.0, e);
+        }
+    }
+    // Only overflow samples remain: report the upper edge.
+    double e = log_lo_ + static_cast<double>(bins_.size()) / inv_bin_width_;
+    return std::pow(10.0, e);
+}
+
+} // namespace diablo

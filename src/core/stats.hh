@@ -1,0 +1,135 @@
+#ifndef DIABLO_CORE_STATS_HH_
+#define DIABLO_CORE_STATS_HH_
+
+/**
+ * @file
+ * Statistics collection: counters, running moments, sample sets with
+ * percentile/CDF/PMF extraction, and log-binned histograms.
+ *
+ * DIABLO is "fully instrumented"; every model in this repo exposes its
+ * behaviour through these types, and the bench harnesses turn them into
+ * the paper's tables and figures.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace diablo {
+
+/** Monotonically increasing event count. */
+class Counter {
+  public:
+    Counter() = default;
+
+    void inc(uint64_t by = 1) { value_ += by; }
+    uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/** Streaming mean/variance/min/max via Welford's algorithm. */
+class RunningStats {
+  public:
+    void record(double x);
+
+    uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Stores every recorded sample and answers distribution queries.
+ *
+ * Sorting is cached and invalidated on insert, so repeated percentile
+ * queries after a run are cheap.
+ */
+class SampleSet {
+  public:
+    void record(double x);
+    void reserve(size_t n) { samples_.reserve(n); }
+
+    size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+    double mean() const;
+    double min() const;
+    double max() const;
+
+    /** p in [0, 100]; linear interpolation between order statistics. */
+    double percentile(double p) const;
+
+    /**
+     * CDF evaluation points: for each sample value x (sorted), the
+     * fraction of samples <= x.  Suitable for plotting the paper's
+     * latency CDFs.
+     */
+    struct CdfPoint { double x; double cum; };
+    std::vector<CdfPoint> cdf() const;
+
+    /**
+     * CDF restricted to the [p_lo, 100] percentile range, as used by the
+     * paper's 95th-100th percentile tail plots (Figure 11).
+     */
+    std::vector<CdfPoint> tailCdf(double p_lo) const;
+
+    /**
+     * Probability mass over logarithmically spaced bins (base-10, with
+     * @p bins_per_decade subdivisions), as in the paper's Figure 10 PMF.
+     */
+    struct PmfBin { double lo; double hi; double mass; };
+    std::vector<PmfBin> logPmf(int bins_per_decade = 4) const;
+
+    const std::vector<double> &raw() const { return samples_; }
+
+    /** Merge another sample set into this one. */
+    void merge(const SampleSet &other);
+
+  private:
+    void ensureSorted() const;
+
+    std::vector<double> samples_;
+    mutable std::vector<double> sorted_;
+    mutable bool sorted_valid_ = false;
+};
+
+/**
+ * Fixed-memory histogram over logarithmic bins; used where sample counts
+ * are too large to retain (engine microbenchmarks).
+ */
+class LogHistogram {
+  public:
+    /** Bins span [lo, hi) with @p bins_per_decade log10 subdivisions. */
+    LogHistogram(double lo, double hi, int bins_per_decade);
+
+    void record(double x);
+
+    uint64_t count() const { return count_; }
+    double percentile(double p) const;
+
+  private:
+    double lo_;
+    double log_lo_;
+    double inv_bin_width_;
+    std::vector<uint64_t> bins_;
+    uint64_t count_ = 0;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
+};
+
+} // namespace diablo
+
+#endif // DIABLO_CORE_STATS_HH_

@@ -1,0 +1,206 @@
+#ifndef DIABLO_CORE_TASK_HH_
+#define DIABLO_CORE_TASK_HH_
+
+/**
+ * @file
+ * C++20 coroutine task type for simulated processes.
+ *
+ * Application and protocol logic in diablo-sim is written as coroutines
+ * awaiting simulated time, CPU service, and I/O.  Task<T> is a lazy,
+ * owning, move-only coroutine handle:
+ *
+ *  - awaiting a Task starts the child and transfers control symmetrically
+ *    (no host-stack growth for long continuation chains);
+ *  - when a child finishes, its parent is resumed via symmetric transfer;
+ *  - root tasks are owned by the Simulator (see Simulator::spawn), which
+ *    destroys completed frames lazily and all frames at teardown.
+ *
+ * Exceptions thrown inside a task propagate to the awaiting parent; an
+ * exception escaping a root task aborts the simulation (panic), since
+ * simulated programs must handle their own errors.
+ */
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "core/log.hh"
+
+namespace diablo {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct PromiseBase {
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exception;
+
+    struct FinalAwaiter {
+        bool await_ready() noexcept { return false; }
+
+        template <typename P>
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<P> h) noexcept
+        {
+            auto &p = h.promise();
+            if (p.continuation) {
+                return p.continuation;
+            }
+            return std::noop_coroutine();
+        }
+
+        void await_resume() noexcept {}
+    };
+
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void
+    unhandled_exception()
+    {
+        exception = std::current_exception();
+    }
+};
+
+template <typename T>
+struct Promise : PromiseBase {
+    std::optional<T> value;
+
+    Task<T> get_return_object();
+
+    template <typename U>
+    void
+    return_value(U &&v)
+    {
+        value.emplace(std::forward<U>(v));
+    }
+};
+
+template <>
+struct Promise<void> : PromiseBase {
+    Task<void> get_return_object();
+
+    void return_void() {}
+};
+
+} // namespace detail
+
+/**
+ * Lazy coroutine task producing a value of type T (or void).
+ */
+template <typename T = void>
+class [[nodiscard]] Task {
+  public:
+    using promise_type = detail::Promise<T>;
+    using Handle = std::coroutine_handle<promise_type>;
+
+    Task() = default;
+    explicit Task(Handle h) : h_(h) {}
+
+    Task(Task &&o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+
+    Task &
+    operator=(Task &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            h_ = std::exchange(o.h_, nullptr);
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task() { destroy(); }
+
+    bool valid() const { return static_cast<bool>(h_); }
+    bool done() const { return !h_ || h_.done(); }
+
+    /**
+     * Start or resume a root task from plain (non-coroutine) code; the
+     * task runs until its next suspension point.
+     */
+    void
+    resume()
+    {
+        if (h_ && !h_.done()) {
+            h_.resume();
+        }
+    }
+
+    /** Rethrow a root task's stored exception as a panic, if any. */
+    void
+    checkRootException() const
+    {
+        if (h_ && h_.done() && h_.promise().exception) {
+            try {
+                std::rethrow_exception(h_.promise().exception);
+            } catch (const std::exception &e) {
+                panic("unhandled exception escaped root task: %s", e.what());
+            } catch (...) {
+                panic("unhandled non-standard exception escaped root task");
+            }
+        }
+    }
+
+    // --- awaitable interface (co_await child_task) ---
+
+    bool await_ready() const noexcept { return !h_ || h_.done(); }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> parent) noexcept
+    {
+        h_.promise().continuation = parent;
+        return h_; // start the child
+    }
+
+    T
+    await_resume()
+    {
+        auto &p = h_.promise();
+        if (p.exception) {
+            std::rethrow_exception(p.exception);
+        }
+        if constexpr (!std::is_void_v<T>) {
+            return std::move(*p.value);
+        }
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (h_) {
+            h_.destroy();
+            h_ = nullptr;
+        }
+    }
+
+    Handle h_;
+};
+
+namespace detail {
+
+template <typename T>
+Task<T>
+Promise<T>::get_return_object()
+{
+    return Task<T>(std::coroutine_handle<Promise<T>>::from_promise(*this));
+}
+
+inline Task<void>
+Promise<void>::get_return_object()
+{
+    return Task<void>(
+        std::coroutine_handle<Promise<void>>::from_promise(*this));
+}
+
+} // namespace detail
+
+} // namespace diablo
+
+#endif // DIABLO_CORE_TASK_HH_

@@ -1,0 +1,33 @@
+#include "core/time.hh"
+
+#include <cstdio>
+
+namespace diablo {
+
+std::string
+SimTime::str() const
+{
+    char buf[64];
+    const int64_t v = ps_;
+    if (v == 0) {
+        return "0s";
+    }
+    if (v % 1000000000000LL == 0) {
+        std::snprintf(buf, sizeof(buf), "%llds",
+                      static_cast<long long>(v / 1000000000000LL));
+    } else if (v % 1000000000LL == 0) {
+        std::snprintf(buf, sizeof(buf), "%lldms",
+                      static_cast<long long>(v / 1000000000LL));
+    } else if (v % 1000000 == 0) {
+        std::snprintf(buf, sizeof(buf), "%lldus",
+                      static_cast<long long>(v / 1000000));
+    } else if (v % 1000 == 0) {
+        std::snprintf(buf, sizeof(buf), "%lldns",
+                      static_cast<long long>(v / 1000));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%lldps", static_cast<long long>(v));
+    }
+    return buf;
+}
+
+} // namespace diablo

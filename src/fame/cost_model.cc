@@ -1,0 +1,60 @@
+#include "fame/cost_model.hh"
+
+namespace diablo {
+namespace fame {
+
+DiabloCostParams
+DiabloCostParams::bee3Prototype()
+{
+    DiabloCostParams p;
+    p.board_cost_usd = 15000.0;
+    // 6 Rack-FPGA boards carried 2,976 servers; with the 3 Switch-FPGA
+    // boards a 9-board system models a 2,976-node array: ~331 nodes per
+    // board of the mixed system.  For scaling estimates use the
+    // rack-board density (4 FPGAs x 124 servers = 496).
+    p.nodes_per_board = 496;
+    p.infrastructure_usd = 5000.0;
+    return p;
+}
+
+DiabloCostParams
+DiabloCostParams::board2015()
+{
+    DiabloCostParams p;
+    // "Using the latest 20nm FPGAs in 2015 and with a redesigned board,
+    // we estimate we could now potentially build a 32,000-node DIABLO
+    // system using just 32 FPGAs and an overall cost of $150K including
+    // DRAM": 32 boards x $4,531 + infrastructure ~= $150K.
+    p.board_cost_usd = 4531.25;
+    p.nodes_per_board = 1000;
+    p.infrastructure_usd = 5000.0;
+    return p;
+}
+
+uint32_t
+CostModel::boardsNeeded(uint32_t nodes, const DiabloCostParams &p) const
+{
+    return (nodes + p.nodes_per_board - 1) / p.nodes_per_board;
+}
+
+double
+CostModel::diabloCapexUsd(uint32_t nodes, const DiabloCostParams &p) const
+{
+    return boardsNeeded(nodes, p) * p.board_cost_usd +
+           p.infrastructure_usd;
+}
+
+double
+CostModel::wscCapexUsd(uint32_t nodes, const WscCostParams &p) const
+{
+    return nodes * p.capex_per_server_usd;
+}
+
+double
+CostModel::wscOpexPerMonthUsd(uint32_t nodes, const WscCostParams &p) const
+{
+    return nodes * p.opex_per_server_month_usd;
+}
+
+} // namespace fame
+} // namespace diablo

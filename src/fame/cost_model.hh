@@ -1,0 +1,56 @@
+#ifndef DIABLO_FAME_COST_MODEL_HH_
+#define DIABLO_FAME_COST_MODEL_HH_
+
+/**
+ * @file
+ * Capital/operating cost model behind the paper's headline economics:
+ * a ~$150K DIABLO system versus a ~$36M-CAPEX, ~$800K/month-OPEX real
+ * WSC array of the same node count (§1, §3.4).
+ */
+
+#include <cstdint>
+
+namespace diablo {
+namespace fame {
+
+/** DIABLO platform cost parameters. */
+struct DiabloCostParams {
+    double board_cost_usd = 15000.0;   ///< BEE3 board (2007-era, 4 FPGAs)
+    uint32_t nodes_per_board = 1344;   ///< 4 FPGAs x 4 pipelines (+pkg)
+    double infrastructure_usd = 5000.0;///< rack, cables, front-end hosts
+
+    /** The paper's 9-board, 36-FPGA prototype. */
+    static DiabloCostParams bee3Prototype();
+
+    /** Projected 2015 single-FPGA board (20 nm, incl. DRAM). */
+    static DiabloCostParams board2015();
+};
+
+/** Real-WSC cost parameters (Barroso/Holzle-style accounting). */
+struct WscCostParams {
+    double capex_per_server_usd = 3025.0; ///< server + network share
+    double opex_per_server_month_usd = 67.2;
+};
+
+/** Evaluates both platforms for a target node count. */
+class CostModel {
+  public:
+    CostModel() = default;
+
+    /** Total DIABLO hardware cost for @p nodes simulated servers. */
+    double diabloCapexUsd(uint32_t nodes,
+                          const DiabloCostParams &p) const;
+
+    uint32_t boardsNeeded(uint32_t nodes, const DiabloCostParams &p) const;
+
+    /** Real array CAPEX for @p nodes physical servers. */
+    double wscCapexUsd(uint32_t nodes, const WscCostParams &p) const;
+
+    /** Real array OPEX per month. */
+    double wscOpexPerMonthUsd(uint32_t nodes, const WscCostParams &p) const;
+};
+
+} // namespace fame
+} // namespace diablo
+
+#endif // DIABLO_FAME_COST_MODEL_HH_

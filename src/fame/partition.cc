@@ -1,0 +1,150 @@
+#include "fame/partition.hh"
+
+#include <algorithm>
+#include <barrier>
+#include <thread>
+
+#include "core/log.hh"
+
+namespace diablo {
+namespace fame {
+
+void
+PartitionSet::Channel::post(SimTime when, std::function<void()> fn)
+{
+    pending_.push_back(Msg{when, std::move(fn)});
+}
+
+PartitionSet::PartitionSet(size_t n)
+{
+    if (n == 0) {
+        fatal("PartitionSet: need at least one partition");
+    }
+    parts_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        parts_.push_back(std::make_unique<Simulator>());
+    }
+}
+
+PartitionSet::~PartitionSet() = default;
+
+PartitionSet::Channel &
+PartitionSet::makeChannel(size_t src, size_t dst, SimTime min_latency)
+{
+    if (src >= parts_.size() || dst >= parts_.size()) {
+        fatal("PartitionSet: channel endpoints out of range");
+    }
+    if (min_latency <= SimTime()) {
+        fatal("PartitionSet: channel latency must be positive "
+              "(conservative lookahead)");
+    }
+    auto ch = std::make_unique<Channel>();
+    ch->owner_ = this;
+    ch->src_ = src;
+    ch->dst_ = dst;
+    ch->min_latency_ = min_latency;
+    channels_.push_back(std::move(ch));
+    return *channels_.back();
+}
+
+SimTime
+PartitionSet::quantum() const
+{
+    SimTime q = SimTime::max();
+    for (const auto &ch : channels_) {
+        q = std::min(q, ch->min_latency_);
+    }
+    if (q == SimTime::max()) {
+        q = SimTime::ms(1); // no channels: partitions are independent
+    }
+    return q;
+}
+
+void
+PartitionSet::drainChannels()
+{
+    // Fixed channel order keeps destination-queue insertion sequence —
+    // and therefore same-timestamp tie-breaking — deterministic.
+    for (auto &ch : channels_) {
+        Simulator &dst = *parts_[ch->dst_];
+        for (auto &msg : ch->pending_) {
+            if (msg.when < dst.now()) {
+                panic("PartitionSet: causality violation (message at %s "
+                      "behind partition clock %s)",
+                      msg.when.str().c_str(), dst.now().str().c_str());
+            }
+            dst.scheduleAt(msg.when, std::move(msg.fn));
+        }
+        ch->pending_.clear();
+    }
+}
+
+void
+PartitionSet::runSequential(SimTime until)
+{
+    const SimTime q = quantum();
+    SimTime t;
+    while (t < until) {
+        const SimTime bound = std::min(t + q, until);
+        for (auto &p : parts_) {
+            p->runBefore(bound);
+        }
+        drainChannels();
+        t = bound;
+        ++quanta_;
+    }
+}
+
+void
+PartitionSet::runParallel(SimTime until)
+{
+    const SimTime q = quantum();
+    const size_t n = parts_.size();
+
+    SimTime t;
+    SimTime bound = std::min(t + q, until);
+    bool done = t >= until;
+
+    // Completion step runs on the last thread arriving at the barrier:
+    // drain channels and advance the window, single-threaded.
+    auto on_phase_end = [&]() noexcept {
+        drainChannels();
+        t = bound;
+        ++quanta_;
+        bound = std::min(t + q, until);
+        if (t >= until) {
+            done = true;
+        }
+    };
+    std::barrier barrier(static_cast<std::ptrdiff_t>(n), on_phase_end);
+
+    std::vector<std::thread> workers;
+    workers.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        workers.emplace_back([this, i, &barrier, &bound, &done] {
+            while (true) {
+                parts_[i]->runBefore(bound);
+                barrier.arrive_and_wait();
+                if (done) {
+                    return;
+                }
+            }
+        });
+    }
+    for (auto &w : workers) {
+        w.join();
+    }
+}
+
+uint64_t
+PartitionSet::totalExecutedEvents() const
+{
+    uint64_t n = 0;
+    for (const auto &p : parts_) {
+        n += p->executedEvents();
+    }
+    return n;
+}
+
+} // namespace fame
+} // namespace diablo

@@ -1,0 +1,109 @@
+#ifndef DIABLO_FAME_PARTITION_HH_
+#define DIABLO_FAME_PARTITION_HH_
+
+/**
+ * @file
+ * Partitioned conservative-parallel simulation engine.
+ *
+ * DIABLO distributes one simulation across many FPGAs, each running its
+ * own simulation scheduler that "synchronizes with adjacent FPGAs over
+ * the serial links at a fine granularity" (§3.2).  This is the software
+ * analog: the model is split into partitions, each with its own event
+ * queue, advancing in lockstep quanta no larger than the minimum
+ * cross-partition link latency (the lookahead), so every remote event
+ * is known before the quantum in which it fires.
+ *
+ * Determinism is preserved exactly: cross-partition messages are
+ * drained at each barrier in fixed channel order and scheduled with the
+ * destination queue's usual (time, priority, sequence) ordering, so a
+ * parallel run produces *identical* results to the sequential reference
+ * (see fame tests), mirroring DIABLO's repeatable experiments across
+ * its multi-FPGA deployment.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/simulator.hh"
+
+namespace diablo {
+namespace fame {
+
+/** A set of lockstep simulation partitions. */
+class PartitionSet {
+  public:
+    /** Unidirectional cross-partition message channel. */
+    class Channel {
+      public:
+        /**
+         * Deliver @p fn in the destination partition at absolute time
+         * @p when.  Must be called from the source partition's events;
+         * @p when must respect the channel latency (>= now + latency),
+         * which guarantees it lands in a future quantum.
+         */
+        void post(SimTime when, std::function<void()> fn);
+
+        SimTime minLatency() const { return min_latency_; }
+
+      private:
+        friend class PartitionSet;
+
+        struct Msg {
+            SimTime when;
+            std::function<void()> fn;
+        };
+
+        PartitionSet *owner_ = nullptr;
+        size_t src_ = 0;
+        size_t dst_ = 0;
+        SimTime min_latency_;
+        std::vector<Msg> pending_;
+    };
+
+    explicit PartitionSet(size_t n);
+    ~PartitionSet();
+
+    PartitionSet(const PartitionSet &) = delete;
+    PartitionSet &operator=(const PartitionSet &) = delete;
+
+    size_t size() const { return parts_.size(); }
+    Simulator &partition(size_t i) { return *parts_[i]; }
+
+    /**
+     * Create a channel from partition @p src to @p dst whose messages
+     * always arrive at least @p min_latency after they are posted.
+     * The run quantum is the minimum such latency across all channels.
+     */
+    Channel &makeChannel(size_t src, size_t dst, SimTime min_latency);
+
+    /** Synchronization quantum (lookahead). */
+    SimTime quantum() const;
+
+    /**
+     * Advance all partitions to @p until using one host thread per
+     * partition with barrier synchronization each quantum.
+     */
+    void runParallel(SimTime until);
+
+    /** Reference implementation: same semantics, one host thread. */
+    void runSequential(SimTime until);
+
+    /** Barriers executed (quanta), for the scaling benchmark. */
+    uint64_t quantaExecuted() const { return quanta_; }
+
+    uint64_t totalExecutedEvents() const;
+
+  private:
+    void drainChannels();
+
+    std::vector<std::unique_ptr<Simulator>> parts_;
+    std::vector<std::unique_ptr<Channel>> channels_;
+    uint64_t quanta_ = 0;
+};
+
+} // namespace fame
+} // namespace diablo
+
+#endif // DIABLO_FAME_PARTITION_HH_

@@ -1,0 +1,44 @@
+#include "fame/perf_model.hh"
+
+namespace diablo {
+namespace fame {
+
+HostPlatform
+HostPlatform::bee3()
+{
+    return HostPlatform{};
+}
+
+double
+PerfModel::slowdown(double target_ghz) const
+{
+    // Each pipeline advances one thread's target cycle per
+    // (stall_factor) host cycles; T threads share it round-robin.
+    const double target_hz = target_ghz * 1e9;
+    const double per_thread_rate =
+        host_.host_clock_mhz * 1e6 /
+        (host_.threads_per_pipeline * host_.stall_factor);
+    return target_hz / per_thread_rate;
+}
+
+SimTime
+PerfModel::wallClockFor(SimTime target_time, double target_ghz) const
+{
+    return target_time.scaled(slowdown(target_ghz));
+}
+
+double
+PerfModel::softwareSlowdown(double target_ghz, double sw_host_ghz,
+                            double host_instr_per_target_cycle)
+{
+    // One target core simulated at host_instr_per_target_cycle host
+    // instructions per target cycle, serialized over all target nodes
+    // is impractical; even per-node it is orders of magnitude slower.
+    const double target_hz = target_ghz * 1e9;
+    const double sim_rate =
+        sw_host_ghz * 1e9 / host_instr_per_target_cycle;
+    return target_hz / sim_rate;
+}
+
+} // namespace fame
+} // namespace diablo

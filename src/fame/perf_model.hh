@@ -1,0 +1,69 @@
+#ifndef DIABLO_FAME_PERF_MODEL_HH_
+#define DIABLO_FAME_PERF_MODEL_HH_
+
+/**
+ * @file
+ * Host performance model of the FAME-7 execution platform.
+ *
+ * A host-multithreaded pipeline interleaves T target threads, retiring
+ * roughly one target instruction per host cycle per pipeline when fully
+ * utilized; host DRAM accesses, timing-model synchronization and
+ * inter-FPGA links add a stall factor.  The model predicts the
+ * simulation slowdown (target time -> wall-clock) the paper reports:
+ * 250-1000x in general, and ~3000x (50 minutes per simulated second)
+ * for 4 GHz targets with a 10 Gbps interconnect (§1, §5).
+ */
+
+#include <cstdint>
+
+#include "core/time.hh"
+
+namespace diablo {
+namespace fame {
+
+/** FAME host platform parameters. */
+struct HostPlatform {
+    double host_clock_mhz = 90.0;       ///< BEE3 Virtex-5 host clock
+    uint32_t threads_per_pipeline = 32;
+    /** Average host cycles per target cycle per thread beyond the ideal
+     *  1.0 (host DRAM stalls, sync with switch models). */
+    double stall_factor = 2.1;
+
+    static HostPlatform bee3();
+};
+
+/** Slowdown and runtime predictions. */
+class PerfModel {
+  public:
+    explicit PerfModel(const HostPlatform &host) : host_(host) {}
+
+    /**
+     * Wall-clock slowdown versus target time for a fixed-CPI target
+     * clocked at @p target_ghz.  Independent of node count: adding
+     * nodes adds pipelines/FPGAs (the paper observed no performance
+     * drop from 500 to 2,000 nodes).
+     */
+    double slowdown(double target_ghz) const;
+
+    /** Wall-clock time to simulate @p target_time of target time. */
+    SimTime wallClockFor(SimTime target_time, double target_ghz) const;
+
+    /**
+     * Slowdown of a single-threaded software simulator retiring
+     * @p host_instr_per_target_cycle instructions per simulated target
+     * cycle on a @p sw_host_ghz host — the paper's "software simulation
+     * would take almost two weeks" comparison.
+     */
+    static double softwareSlowdown(double target_ghz, double sw_host_ghz,
+                                   double host_instr_per_target_cycle);
+
+    const HostPlatform &host() const { return host_; }
+
+  private:
+    HostPlatform host_;
+};
+
+} // namespace fame
+} // namespace diablo
+
+#endif // DIABLO_FAME_PERF_MODEL_HH_

@@ -1,0 +1,164 @@
+#include "fame/resource_model.hh"
+
+#include <algorithm>
+
+namespace diablo {
+namespace fame {
+
+Resources &
+Resources::operator+=(const Resources &o)
+{
+    lut += o.lut;
+    reg += o.reg;
+    bram += o.bram;
+    lutram += o.lutram;
+    return *this;
+}
+
+Resources
+Resources::operator+(const Resources &o) const
+{
+    Resources r = *this;
+    r += o;
+    return r;
+}
+
+Resources
+Resources::operator*(double k) const
+{
+    return Resources{lut * k, reg * k, bram * k, lutram * k};
+}
+
+FpgaDevice
+FpgaDevice::virtex5Lx155t()
+{
+    // 24,320 slices x 4 6-LUTs/FFs; 212 BRAM36; SLICEM LUTs usable as
+    // distributed RAM.
+    return FpgaDevice{"XC5VLX155T", 97280, 97280, 212, 33280};
+}
+
+FpgaDevice
+FpgaDevice::ultrascale20nm()
+{
+    // Representative 2015 20 nm device class (paper §5: "upcoming 20 nm
+    // FPGAs"): roughly an order of magnitude more logic than the LX155T.
+    return FpgaDevice{"20nm-UltraScale-class", 1045440, 2090880, 1968,
+                      480000};
+}
+
+HostConfig
+HostConfig::rackFpga()
+{
+    return HostConfig{};
+}
+
+HostConfig
+HostConfig::switchFpga()
+{
+    HostConfig c;
+    // "A single server functional model pipeline, without a timing
+    // model" plus the array/datacenter switch models.
+    c.server_pipelines = 1;
+    c.threads_per_pipeline = 32;
+    c.nic_models = 0;
+    c.switch_models = 2;
+    c.switch_ports = 128;
+    return c;
+}
+
+namespace {
+
+// Per-unit coefficients, fitted so HostConfig::rackFpga() reproduces
+// Table 2 exactly (4 pipelines x 32 threads, 4 NICs, 4 x 32-port ToRs).
+constexpr double kSrvBaseLut = 5191.25, kSrvThreadLut = 60.0;
+constexpr double kSrvBaseReg = 2965.75, kSrvThreadReg = 200.0;
+constexpr double kSrvBaseBram = 18.0, kSrvThreadBram = 0.1875;
+constexpr double kSrvBaseLutram = 1326.0, kSrvThreadLutram = 10.0;
+
+constexpr double kNicLut = 2366.75, kNicReg = 1196.25;
+constexpr double kNicBram = 2.5, kNicLutram = 188.0;
+
+constexpr double kSwBaseLut = 647.75, kSwPortLut = 15.0;
+constexpr double kSwBaseReg = 550.5, kSwPortReg = 10.0;
+constexpr double kSwBaseBram = 5.0, kSwPortBram = 0.25;
+constexpr double kSwBaseLutram = 22.25, kSwPortLutram = 2.0;
+
+constexpr Resources kMisc{3395, 16052, 31, 5058};
+
+} // namespace
+
+Resources
+ResourceModel::serverModels(uint32_t pipelines, uint32_t threads) const
+{
+    Resources per;
+    per.lut = kSrvBaseLut + kSrvThreadLut * threads;
+    per.reg = kSrvBaseReg + kSrvThreadReg * threads;
+    per.bram = kSrvBaseBram + kSrvThreadBram * threads;
+    per.lutram = kSrvBaseLutram + kSrvThreadLutram * threads;
+    return per * static_cast<double>(pipelines);
+}
+
+Resources
+ResourceModel::nicModels(uint32_t count) const
+{
+    return Resources{kNicLut, kNicReg, kNicBram, kNicLutram} *
+           static_cast<double>(count);
+}
+
+Resources
+ResourceModel::switchModels(uint32_t count, uint32_t ports) const
+{
+    Resources per;
+    per.lut = kSwBaseLut + kSwPortLut * ports;
+    per.reg = kSwBaseReg + kSwPortReg * ports;
+    per.bram = kSwBaseBram + kSwPortBram * ports;
+    per.lutram = kSwBaseLutram + kSwPortLutram * ports;
+    return per * static_cast<double>(count);
+}
+
+Resources
+ResourceModel::miscellaneous() const
+{
+    return kMisc;
+}
+
+Resources
+ResourceModel::estimate(const HostConfig &cfg) const
+{
+    Resources r = serverModels(cfg.server_pipelines,
+                               cfg.threads_per_pipeline);
+    r += nicModels(cfg.nic_models);
+    r += switchModels(cfg.switch_models, cfg.switch_ports);
+    if (cfg.frontend_and_scheduler) {
+        r += miscellaneous();
+    }
+    return r;
+}
+
+double
+ResourceModel::worstUtilization(const HostConfig &cfg,
+                                const FpgaDevice &dev) const
+{
+    const Resources r = estimate(cfg);
+    return std::max({r.lut / dev.lut, r.reg / dev.reg, r.bram / dev.bram,
+                     r.lutram / dev.lutram});
+}
+
+uint32_t
+ResourceModel::maxThreadsThatFit(HostConfig cfg,
+                                 const FpgaDevice &dev) const
+{
+    uint32_t best = 0;
+    for (uint32_t t = 1; t <= 4096; ++t) {
+        cfg.threads_per_pipeline = t;
+        if (worstUtilization(cfg, dev) <= 1.0) {
+            best = t;
+        } else {
+            break;
+        }
+    }
+    return best;
+}
+
+} // namespace fame
+} // namespace diablo

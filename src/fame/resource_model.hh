@@ -1,0 +1,90 @@
+#ifndef DIABLO_FAME_RESOURCE_MODEL_HH_
+#define DIABLO_FAME_RESOURCE_MODEL_HH_
+
+/**
+ * @file
+ * FPGA resource model for DIABLO's host configurations.
+ *
+ * DIABLO maps host-multithreaded FAME-7 models onto Xilinx Virtex-5
+ * LX155T FPGAs; Table 2 of the paper reports the Rack FPGA's place-and-
+ * route utilization.  This parametric model estimates LUT/register/
+ * BRAM/LUTRAM consumption as a function of the host configuration
+ * (server pipelines, threads per pipeline, NIC models, switch models and
+ * ports) and is calibrated so the paper's default Rack FPGA
+ * configuration — four 32-thread server pipelines, four NIC models,
+ * four ToR switch models — reproduces Table 2 exactly.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace diablo {
+namespace fame {
+
+/** Resource vector (absolute counts). */
+struct Resources {
+    double lut = 0;
+    double reg = 0;
+    double bram = 0;
+    double lutram = 0;
+
+    Resources &operator+=(const Resources &o);
+    Resources operator+(const Resources &o) const;
+    Resources operator*(double k) const;
+};
+
+/** Host FPGA device capacities. */
+struct FpgaDevice {
+    std::string name;
+    double lut;
+    double reg;
+    double bram;
+    double lutram;
+
+    /** The BEE3's Xilinx Virtex-5 LX155T. */
+    static FpgaDevice virtex5Lx155t();
+
+    /** A 2015-era 20 nm device (for the paper's scaling projection). */
+    static FpgaDevice ultrascale20nm();
+};
+
+/** A host FPGA configuration (Rack FPGA or Switch FPGA). */
+struct HostConfig {
+    uint32_t server_pipelines = 4;
+    uint32_t threads_per_pipeline = 32;
+    uint32_t nic_models = 4;
+    uint32_t switch_models = 4;
+    uint32_t switch_ports = 32;
+    bool frontend_and_scheduler = true; ///< misc infrastructure
+
+    /** The paper's Rack FPGA (Table 2). */
+    static HostConfig rackFpga();
+
+    /** The paper's Switch FPGA (cut-down: one functional pipeline). */
+    static HostConfig switchFpga();
+};
+
+/** Parametric estimator calibrated against Table 2. */
+class ResourceModel {
+  public:
+    ResourceModel() = default;
+
+    Resources serverModels(uint32_t pipelines, uint32_t threads) const;
+    Resources nicModels(uint32_t count) const;
+    Resources switchModels(uint32_t count, uint32_t ports) const;
+    Resources miscellaneous() const;
+
+    Resources estimate(const HostConfig &cfg) const;
+
+    /** Utilization fraction of the scarcest resource on @p dev. */
+    double worstUtilization(const HostConfig &cfg,
+                            const FpgaDevice &dev) const;
+
+    /** Largest thread count per pipeline that fits on @p dev. */
+    uint32_t maxThreadsThatFit(HostConfig cfg, const FpgaDevice &dev) const;
+};
+
+} // namespace fame
+} // namespace diablo
+
+#endif // DIABLO_FAME_RESOURCE_MODEL_HH_

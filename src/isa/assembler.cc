@@ -1,0 +1,240 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "core/log.hh"
+
+namespace diablo {
+namespace isa {
+
+namespace {
+
+struct Token {
+    std::string text;
+};
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : line) {
+        if (c == '#') {
+            break;
+        }
+        if (std::isspace(static_cast<unsigned char>(c)) || c == ',' ||
+            c == '(' || c == ')') {
+            if (!cur.empty()) {
+                out.push_back(cur);
+                cur.clear();
+            }
+            if (c == '(' || c == ')') {
+                out.push_back(std::string(1, c));
+            }
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty()) {
+        out.push_back(cur);
+    }
+    return out;
+}
+
+uint8_t
+parseReg(const std::string &t, int lineno)
+{
+    if (t.size() < 2 || (t[0] != 'r' && t[0] != 'R')) {
+        fatal("dSPARC asm line %d: expected register, got '%s'", lineno,
+              t.c_str());
+    }
+    char *end = nullptr;
+    long v = std::strtol(t.c_str() + 1, &end, 10);
+    if (*end != '\0' || v < 0 || v >= static_cast<long>(kNumRegs)) {
+        fatal("dSPARC asm line %d: bad register '%s'", lineno, t.c_str());
+    }
+    return static_cast<uint8_t>(v);
+}
+
+std::optional<int32_t>
+parseInt(const std::string &t)
+{
+    char *end = nullptr;
+    long v = std::strtol(t.c_str(), &end, 0);
+    if (end == t.c_str() || *end != '\0') {
+        return std::nullopt;
+    }
+    return static_cast<int32_t>(v);
+}
+
+struct PendingLabel {
+    size_t instr_index;
+    std::string label;
+    int lineno;
+};
+
+const std::map<std::string, Op> kThreeReg = {
+    {"add", Op::Add}, {"sub", Op::Sub}, {"and", Op::And},
+    {"or", Op::Or},   {"xor", Op::Xor}, {"sll", Op::Sll},
+    {"srl", Op::Srl}, {"sra", Op::Sra}, {"mul", Op::Mul},
+};
+
+const std::map<std::string, Op> kRegRegImm = {
+    {"addi", Op::Addi}, {"andi", Op::Andi}, {"ori", Op::Ori},
+    {"xori", Op::Xori}, {"slli", Op::Slli}, {"srli", Op::Srli},
+};
+
+const std::map<std::string, Op> kBranch = {
+    {"beq", Op::Beq}, {"bne", Op::Bne}, {"blt", Op::Blt},
+    {"bge", Op::Bge},
+};
+
+} // namespace
+
+Program
+assemble(const std::string &source)
+{
+    Program prog;
+    std::map<std::string, uint32_t> labels;
+    std::vector<PendingLabel> fixups;
+
+    std::istringstream in(source);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        auto toks = tokenize(line);
+        if (toks.empty()) {
+            continue;
+        }
+        // Labels (possibly several) prefix the instruction.
+        size_t i = 0;
+        while (i < toks.size() && toks[i].back() == ':') {
+            std::string name = toks[i].substr(0, toks[i].size() - 1);
+            if (labels.count(name)) {
+                fatal("dSPARC asm line %d: duplicate label '%s'", lineno,
+                      name.c_str());
+            }
+            labels[name] = static_cast<uint32_t>(prog.size());
+            ++i;
+        }
+        if (i >= toks.size()) {
+            continue;
+        }
+        const std::string op = toks[i];
+        auto rest = std::vector<std::string>(toks.begin() +
+                                                 static_cast<long>(i) + 1,
+                                             toks.end());
+        Instr ins;
+
+        auto needArgs = [&](size_t n) {
+            if (rest.size() != n) {
+                fatal("dSPARC asm line %d: '%s' expects %zu operands, got "
+                      "%zu", lineno, op.c_str(), n, rest.size());
+            }
+        };
+        auto targetOperand = [&](const std::string &t) {
+            if (auto v = parseInt(t)) {
+                ins.imm = *v;
+            } else {
+                fixups.push_back({prog.size(), t, lineno});
+            }
+        };
+
+        if (op == "nop") {
+            needArgs(0);
+            ins.op = Op::Nop;
+        } else if (op == "halt") {
+            needArgs(0);
+            ins.op = Op::Halt;
+        } else if (op == "ecall") {
+            needArgs(0);
+            ins.op = Op::Ecall;
+        } else if (auto it = kThreeReg.find(op); it != kThreeReg.end()) {
+            needArgs(3);
+            ins.op = it->second;
+            ins.rd = parseReg(rest[0], lineno);
+            ins.rs1 = parseReg(rest[1], lineno);
+            ins.rs2 = parseReg(rest[2], lineno);
+        } else if (auto it2 = kRegRegImm.find(op);
+                   it2 != kRegRegImm.end()) {
+            needArgs(3);
+            ins.op = it2->second;
+            ins.rd = parseReg(rest[0], lineno);
+            ins.rs1 = parseReg(rest[1], lineno);
+            auto v = parseInt(rest[2]);
+            if (!v) {
+                fatal("dSPARC asm line %d: bad immediate '%s'", lineno,
+                      rest[2].c_str());
+            }
+            ins.imm = *v;
+        } else if (op == "lui") {
+            needArgs(2);
+            ins.op = Op::Lui;
+            ins.rd = parseReg(rest[0], lineno);
+            auto v = parseInt(rest[1]);
+            if (!v) {
+                fatal("dSPARC asm line %d: bad immediate '%s'", lineno,
+                      rest[1].c_str());
+            }
+            ins.imm = *v;
+        } else if (op == "ld" || op == "st") {
+            // ld rd, imm(rs1)   /  st rs2, imm(rs1)
+            // tokenized as: reg imm ( reg )
+            if (rest.size() != 5 || rest[2] != "(" || rest[4] != ")") {
+                fatal("dSPARC asm line %d: expected '%s rX, imm(rY)'",
+                      lineno, op.c_str());
+            }
+            auto v = parseInt(rest[1]);
+            if (!v) {
+                fatal("dSPARC asm line %d: bad displacement '%s'", lineno,
+                      rest[1].c_str());
+            }
+            ins.imm = *v;
+            if (op == "ld") {
+                ins.op = Op::Ld;
+                ins.rd = parseReg(rest[0], lineno);
+                ins.rs1 = parseReg(rest[3], lineno);
+            } else {
+                ins.op = Op::St;
+                ins.rs2 = parseReg(rest[0], lineno);
+                ins.rs1 = parseReg(rest[3], lineno);
+            }
+        } else if (auto it3 = kBranch.find(op); it3 != kBranch.end()) {
+            needArgs(3);
+            ins.op = it3->second;
+            ins.rs1 = parseReg(rest[0], lineno);
+            ins.rs2 = parseReg(rest[1], lineno);
+            targetOperand(rest[2]);
+        } else if (op == "jal") {
+            needArgs(2);
+            ins.op = Op::Jal;
+            ins.rd = parseReg(rest[0], lineno);
+            targetOperand(rest[1]);
+        } else if (op == "jr") {
+            needArgs(1);
+            ins.op = Op::Jr;
+            ins.rs1 = parseReg(rest[0], lineno);
+        } else {
+            fatal("dSPARC asm line %d: unknown mnemonic '%s'", lineno,
+                  op.c_str());
+        }
+        prog.push_back(ins);
+    }
+
+    for (const auto &fx : fixups) {
+        auto it = labels.find(fx.label);
+        if (it == labels.end()) {
+            fatal("dSPARC asm line %d: undefined label '%s'", fx.lineno,
+                  fx.label.c_str());
+        }
+        prog[fx.instr_index].imm = static_cast<int32_t>(it->second);
+    }
+    return prog;
+}
+
+} // namespace isa
+} // namespace diablo

@@ -1,0 +1,40 @@
+#ifndef DIABLO_ISA_ASSEMBLER_HH_
+#define DIABLO_ISA_ASSEMBLER_HH_
+
+/**
+ * @file
+ * Two-pass in-memory assembler for dSPARC.
+ *
+ * Syntax (one instruction per line, '#' comments, "label:" definitions):
+ *
+ *   loop:
+ *     addi r3, r3, 1        # r3++
+ *     ld   r4, 8(r2)        # r4 = mem[r2 + 8]
+ *     st   r4, 0(r2)
+ *     blt  r3, r5, loop
+ *     jal  r31, func        # call
+ *     jr   r31              # return
+ *     lui  r6, 0x1234
+ *     ecall
+ *     halt
+ *
+ * Branch/jal targets may be labels or absolute instruction indices.
+ */
+
+#include <string>
+
+#include "isa/interpreter.hh"
+
+namespace diablo {
+namespace isa {
+
+/**
+ * Assemble @p source into a Program.  Calls fatal() with file/line
+ * context on syntax errors, since a broken program is a user error.
+ */
+Program assemble(const std::string &source);
+
+} // namespace isa
+} // namespace diablo
+
+#endif // DIABLO_ISA_ASSEMBLER_HH_

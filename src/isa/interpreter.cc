@@ -1,0 +1,208 @@
+#include "isa/interpreter.hh"
+
+#include "core/log.hh"
+
+namespace diablo {
+namespace isa {
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Nop: return "nop";
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::And: return "and";
+      case Op::Or: return "or";
+      case Op::Xor: return "xor";
+      case Op::Sll: return "sll";
+      case Op::Srl: return "srl";
+      case Op::Sra: return "sra";
+      case Op::Mul: return "mul";
+      case Op::Addi: return "addi";
+      case Op::Andi: return "andi";
+      case Op::Ori: return "ori";
+      case Op::Xori: return "xori";
+      case Op::Slli: return "slli";
+      case Op::Srli: return "srli";
+      case Op::Lui: return "lui";
+      case Op::Ld: return "ld";
+      case Op::St: return "st";
+      case Op::Beq: return "beq";
+      case Op::Bne: return "bne";
+      case Op::Blt: return "blt";
+      case Op::Bge: return "bge";
+      case Op::Jal: return "jal";
+      case Op::Jr: return "jr";
+      case Op::Ecall: return "ecall";
+      case Op::Halt: return "halt";
+    }
+    return "?";
+}
+
+std::string
+Instr::str() const
+{
+    return strprintf("%s rd=%u rs1=%u rs2=%u imm=%d", opName(op), rd, rs1,
+                     rs2, imm);
+}
+
+InstrClass
+classify(Op op)
+{
+    switch (op) {
+      case Op::Ld:
+      case Op::St:
+        return InstrClass::Mem;
+      case Op::Beq:
+      case Op::Bne:
+      case Op::Blt:
+      case Op::Bge:
+      case Op::Jal:
+      case Op::Jr:
+        return InstrClass::Branch;
+      case Op::Ecall:
+      case Op::Halt:
+        return InstrClass::Trap;
+      default:
+        return InstrClass::Alu;
+    }
+}
+
+uint32_t
+TargetMemory::load(uint32_t byte_addr) const
+{
+    const uint32_t w = byte_addr / 4;
+    if (w >= words_.size()) {
+        panic("dSPARC: load from 0x%x beyond memory (%zu bytes)",
+              byte_addr, sizeBytes());
+    }
+    return words_[w];
+}
+
+void
+TargetMemory::store(uint32_t byte_addr, uint32_t value)
+{
+    const uint32_t w = byte_addr / 4;
+    if (w >= words_.size()) {
+        panic("dSPARC: store to 0x%x beyond memory (%zu bytes)",
+              byte_addr, sizeBytes());
+    }
+    words_[w] = value;
+}
+
+Instr
+step(CpuState &s, const Program &program, TargetMemory &mem)
+{
+    if (s.halted) {
+        return Instr{Op::Halt};
+    }
+    if (s.pc >= program.size()) {
+        panic("dSPARC: pc %u beyond program of %zu instructions", s.pc,
+              program.size());
+    }
+    const Instr ins = program[s.pc];
+    uint32_t next_pc = s.pc + 1;
+    const uint32_t a = s.reg(ins.rs1);
+    const uint32_t b = s.reg(ins.rs2);
+    const auto imm = static_cast<uint32_t>(ins.imm);
+
+    switch (ins.op) {
+      case Op::Nop:
+        break;
+      case Op::Add: s.setReg(ins.rd, a + b); break;
+      case Op::Sub: s.setReg(ins.rd, a - b); break;
+      case Op::And: s.setReg(ins.rd, a & b); break;
+      case Op::Or:  s.setReg(ins.rd, a | b); break;
+      case Op::Xor: s.setReg(ins.rd, a ^ b); break;
+      case Op::Sll: s.setReg(ins.rd, a << (b & 31)); break;
+      case Op::Srl: s.setReg(ins.rd, a >> (b & 31)); break;
+      case Op::Sra:
+        s.setReg(ins.rd, static_cast<uint32_t>(
+                             static_cast<int32_t>(a) >>
+                             static_cast<int32_t>(b & 31)));
+        break;
+      case Op::Mul: s.setReg(ins.rd, a * b); break;
+      case Op::Addi: s.setReg(ins.rd, a + imm); break;
+      case Op::Andi: s.setReg(ins.rd, a & imm); break;
+      case Op::Ori:  s.setReg(ins.rd, a | imm); break;
+      case Op::Xori: s.setReg(ins.rd, a ^ imm); break;
+      case Op::Slli: s.setReg(ins.rd, a << (imm & 31)); break;
+      case Op::Srli: s.setReg(ins.rd, a >> (imm & 31)); break;
+      case Op::Lui:  s.setReg(ins.rd, imm << 16); break;
+      case Op::Ld:   s.setReg(ins.rd, mem.load(a + imm)); break;
+      case Op::St:   mem.store(a + imm, b); break;
+      case Op::Beq:
+        if (a == b) {
+            next_pc = static_cast<uint32_t>(ins.imm);
+        }
+        break;
+      case Op::Bne:
+        if (a != b) {
+            next_pc = static_cast<uint32_t>(ins.imm);
+        }
+        break;
+      case Op::Blt:
+        if (static_cast<int32_t>(a) < static_cast<int32_t>(b)) {
+            next_pc = static_cast<uint32_t>(ins.imm);
+        }
+        break;
+      case Op::Bge:
+        if (static_cast<int32_t>(a) >= static_cast<int32_t>(b)) {
+            next_pc = static_cast<uint32_t>(ins.imm);
+        }
+        break;
+      case Op::Jal:
+        s.setReg(ins.rd, s.pc + 1);
+        next_pc = static_cast<uint32_t>(ins.imm);
+        break;
+      case Op::Jr:
+        next_pc = a;
+        break;
+      case Op::Ecall: {
+        const uint32_t svc = s.reg(1);
+        const uint32_t arg = s.reg(2);
+        switch (svc) {
+          case service::kPutChar:
+            s.console.push_back(static_cast<char>(arg));
+            break;
+          case service::kPutInt:
+            s.console += std::to_string(static_cast<int32_t>(arg));
+            break;
+          case service::kGetCycle:
+            s.setReg(2, static_cast<uint32_t>(s.target_cycle));
+            break;
+          case service::kExit:
+            s.exit_code = static_cast<int32_t>(arg);
+            s.halted = true;
+            break;
+          default:
+            panic("dSPARC: unknown ecall service %u", svc);
+        }
+        break;
+      }
+      case Op::Halt:
+        s.halted = true;
+        break;
+    }
+
+    s.pc = next_pc;
+    ++s.instret;
+    return ins;
+}
+
+void
+runToHalt(CpuState &state, const Program &program, TargetMemory &mem,
+          uint64_t max_instrs)
+{
+    while (!state.halted && state.instret < max_instrs) {
+        step(state, program, mem);
+    }
+    if (!state.halted) {
+        panic("dSPARC: program did not halt within %llu instructions",
+              static_cast<unsigned long long>(max_instrs));
+    }
+}
+
+} // namespace isa
+} // namespace diablo

@@ -1,0 +1,73 @@
+#ifndef DIABLO_ISA_INTERPRETER_HH_
+#define DIABLO_ISA_INTERPRETER_HH_
+
+/**
+ * @file
+ * dSPARC functional model: architectural state plus a pure step
+ * function.  No timing lives here — the FAME split puts that in
+ * isa/pipeline.hh — so the same functional model can run under any
+ * timing model, just as DIABLO "can change the timing without altering
+ * the router's functional model".
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace diablo {
+namespace isa {
+
+/** Architectural state of one target hardware thread. */
+struct CpuState {
+    uint32_t regs[kNumRegs] = {};
+    uint32_t pc = 0;            ///< instruction index, not byte address
+    bool halted = false;
+    int32_t exit_code = 0;
+    std::string console;        ///< ecall putchar/putint output
+    uint64_t instret = 0;       ///< instructions retired
+    uint64_t target_cycle = 0;  ///< advanced by the timing model
+
+    uint32_t reg(uint32_t i) const { return i == 0 ? 0 : regs[i]; }
+
+    void
+    setReg(uint32_t i, uint32_t v)
+    {
+        if (i != 0) {
+            regs[i] = v;
+        }
+    }
+};
+
+/** Word-addressable target memory (one per simulated server). */
+class TargetMemory {
+  public:
+    explicit TargetMemory(size_t words) : words_(words, 0) {}
+
+    uint32_t load(uint32_t byte_addr) const;
+    void store(uint32_t byte_addr, uint32_t value);
+    size_t sizeBytes() const { return words_.size() * 4; }
+
+  private:
+    std::vector<uint32_t> words_;
+};
+
+/** A loaded program. */
+using Program = std::vector<Instr>;
+
+/**
+ * Execute exactly one instruction of @p state against @p program and
+ * @p mem.  Returns the executed instruction (for the timing model to
+ * classify).  Panics on ill-formed programs (pc out of range).
+ */
+Instr step(CpuState &state, const Program &program, TargetMemory &mem);
+
+/** Convenience: run functionally until halt or @p max_instrs. */
+void runToHalt(CpuState &state, const Program &program, TargetMemory &mem,
+               uint64_t max_instrs = 10000000);
+
+} // namespace isa
+} // namespace diablo
+
+#endif // DIABLO_ISA_INTERPRETER_HH_

@@ -1,0 +1,76 @@
+#ifndef DIABLO_ISA_ISA_HH_
+#define DIABLO_ISA_ISA_HH_
+
+/**
+ * @file
+ * dSPARC: a compact SPARC-v8-flavoured RISC target ISA.
+ *
+ * DIABLO's server model is built on RAMP Gold, "a cycle-level full-system
+ * FAME-7 architecture simulator supporting the full 32-bit SPARC v8 ISA"
+ * (§3.3).  Booting a full SPARC Linux is outside this reproduction's
+ * scope (see DESIGN.md); instead dSPARC provides a small working
+ * instance of the same modeling methodology: a *functional* interpreter
+ * strictly separated from a runtime-configurable fixed-CPI *timing*
+ * model, executed by a host-multithreaded pipeline that interleaves many
+ * target contexts — exactly RAMP Gold's FAME-7 structure — which the
+ * tests and benchmarks use to validate the FAME host-performance model.
+ *
+ * ISA summary: 32 x 32-bit registers (r0 wired to zero), word-addressed
+ * loads/stores, ALU reg/imm forms, compare-and-branch, jal/jr, and a
+ * trap instruction for console/exit services.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace diablo {
+namespace isa {
+
+/** Register count; r0 reads as zero. */
+inline constexpr uint32_t kNumRegs = 32;
+
+/** Operation codes. */
+enum class Op : uint8_t {
+    Nop,
+    Add, Sub, And, Or, Xor, Sll, Srl, Sra, Mul,
+    Addi, Andi, Ori, Xori, Slli, Srli,
+    Lui,        ///< rd = imm << 16
+    Ld,         ///< rd = mem32[rs1 + imm]
+    St,         ///< mem32[rs1 + imm] = rs2
+    Beq, Bne, Blt, Bge,  ///< pc-relative, compare rs1, rs2
+    Jal,        ///< rd = pc + 1; pc = imm (absolute instruction index)
+    Jr,         ///< pc = rs1
+    Ecall,      ///< service trap: service id in r1, argument in r2
+    Halt,
+};
+
+const char *opName(Op op);
+
+/** One decoded instruction. */
+struct Instr {
+    Op op = Op::Nop;
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+    int32_t imm = 0;
+
+    std::string str() const;
+};
+
+/** Ecall service ids (in r1). */
+namespace service {
+inline constexpr uint32_t kPutChar = 1;   ///< r2 = character
+inline constexpr uint32_t kPutInt = 2;    ///< r2 = integer
+inline constexpr uint32_t kGetCycle = 3;  ///< r2 <- target cycle count
+inline constexpr uint32_t kExit = 10;     ///< r2 = exit code
+} // namespace service
+
+/** Instruction classes for the configurable fixed-CPI timing model. */
+enum class InstrClass : uint8_t { Alu, Mem, Branch, Trap };
+
+InstrClass classify(Op op);
+
+} // namespace isa
+} // namespace diablo
+
+#endif // DIABLO_ISA_ISA_HH_

@@ -1,0 +1,122 @@
+#include "isa/pipeline.hh"
+
+#include "core/log.hh"
+
+namespace diablo {
+namespace isa {
+
+HostPipeline::HostPipeline(uint32_t threads, size_t mem_words,
+                           const TimingModel &timing,
+                           const PipelineParams &params)
+    : timing_(timing), params_(params)
+{
+    if (threads == 0) {
+        fatal("HostPipeline: need at least one thread");
+    }
+    ctx_.reserve(threads);
+    for (uint32_t t = 0; t < threads; ++t) {
+        ctx_.emplace_back(mem_words);
+        ctx_.back().state.halted = true; // until a program is loaded
+    }
+}
+
+void
+HostPipeline::load(uint32_t thread, const Program &program)
+{
+    Context &c = ctx_.at(thread);
+    c.state = CpuState{};
+    c.program = program;
+    c.stall = 0;
+}
+
+bool
+HostPipeline::allHalted() const
+{
+    for (const auto &c : ctx_) {
+        if (!c.state.halted) {
+            return false;
+        }
+    }
+    return true;
+}
+
+uint64_t
+HostPipeline::instructionsRetired() const
+{
+    uint64_t n = 0;
+    for (const auto &c : ctx_) {
+        n += c.state.instret;
+    }
+    return n;
+}
+
+double
+HostPipeline::utilization() const
+{
+    if (host_cycles_ == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(issue_slots_used_) /
+           static_cast<double>(host_cycles_);
+}
+
+uint64_t
+HostPipeline::run(uint64_t host_cycles)
+{
+    const uint32_t n = static_cast<uint32_t>(ctx_.size());
+    uint64_t consumed = 0;
+    while (consumed < host_cycles) {
+        if (allHalted()) {
+            break;
+        }
+        // Pick the round-robin-next thread that is runnable *entering*
+        // this host cycle; every other stalled thread retires one host
+        // cycle of its stall.
+        int32_t chosen = -1;
+        for (uint32_t k = 0; k < n && chosen < 0; ++k) {
+            const uint32_t idx = (next_thread_ + k) % n;
+            const Context &c = ctx_[idx];
+            if (!c.state.halted && c.stall == 0) {
+                chosen = static_cast<int32_t>(idx);
+            }
+        }
+        for (uint32_t i = 0; i < n; ++i) {
+            Context &c = ctx_[i];
+            if (!c.state.halted && c.stall > 0 &&
+                static_cast<int32_t>(i) != chosen) {
+                --c.stall;
+            }
+        }
+        if (chosen >= 0) {
+            Context &c = ctx_[static_cast<size_t>(chosen)];
+            const Instr ins = step(c.state, c.program, c.mem);
+            c.state.target_cycle += timing_.cyclesFor(classify(ins.op));
+            if (classify(ins.op) == InstrClass::Mem) {
+                c.stall = params_.host_mem_stall_cycles;
+            }
+            ++issue_slots_used_;
+            next_thread_ = (static_cast<uint32_t>(chosen) + 1) % n;
+        }
+        ++host_cycles_;
+        ++consumed;
+    }
+    return consumed;
+}
+
+uint64_t
+HostPipeline::runToCompletion(uint64_t max_host_cycles)
+{
+    uint64_t consumed = 0;
+    while (!allHalted()) {
+        if (consumed >= max_host_cycles) {
+            panic("HostPipeline: exceeded %llu host cycles",
+                  static_cast<unsigned long long>(max_host_cycles));
+        }
+        consumed += run(std::min<uint64_t>(4096, max_host_cycles -
+                                                     consumed));
+    }
+    return consumed;
+}
+
+} // namespace isa
+} // namespace diablo

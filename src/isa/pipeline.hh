@@ -1,0 +1,112 @@
+#ifndef DIABLO_ISA_PIPELINE_HH_
+#define DIABLO_ISA_PIPELINE_HH_
+
+/**
+ * @file
+ * Host-multithreaded FAME-7 pipeline: the RAMP Gold execution structure.
+ *
+ * One host pipeline interleaves T target hardware threads round-robin,
+ * issuing (at most) one target instruction per host cycle.  Each target
+ * instruction advances its thread's *target* clock by the fixed-CPI
+ * timing model's cycles for that instruction class.  Host-side stalls
+ * (e.g. host DRAM misses on target memory accesses) consume host cycles
+ * without advancing any thread — exactly the utilization/hiding
+ * trade-off the paper's §3.1 "Host Multithreading" describes, and the
+ * source of the slowdown figures in §5.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/interpreter.hh"
+
+namespace diablo {
+namespace isa {
+
+/** Runtime-configurable fixed-CPI timing model. */
+struct TimingModel {
+    uint32_t alu_cycles = 1;
+    uint32_t mem_cycles = 1;
+    uint32_t branch_cycles = 1;
+    uint32_t trap_cycles = 1;
+
+    uint32_t
+    cyclesFor(InstrClass c) const
+    {
+        switch (c) {
+          case InstrClass::Alu:    return alu_cycles;
+          case InstrClass::Mem:    return mem_cycles;
+          case InstrClass::Branch: return branch_cycles;
+          case InstrClass::Trap:   return trap_cycles;
+        }
+        return 1;
+    }
+};
+
+/** Host-model parameters. */
+struct PipelineParams {
+    /** Host-cycle penalty modelling a host DRAM access on target
+     *  loads/stores (hidden by multithreading when other threads are
+     *  runnable). */
+    uint32_t host_mem_stall_cycles = 8;
+};
+
+/** One host pipeline simulating up to T target threads. */
+class HostPipeline {
+  public:
+    /**
+     * @param threads   target contexts sharing this pipeline
+     * @param mem_words target memory words per context (private
+     *                  partitions, as on the Rack FPGA's DRAM)
+     */
+    HostPipeline(uint32_t threads, size_t mem_words,
+                 const TimingModel &timing,
+                 const PipelineParams &params = {});
+
+    /** Load a program into a thread's context (resets its state). */
+    void load(uint32_t thread, const Program &program);
+
+    CpuState &state(uint32_t thread) { return ctx_[thread].state; }
+    TargetMemory &memory(uint32_t thread) { return ctx_[thread].mem; }
+
+    /**
+     * Advance the host by up to @p host_cycles; returns host cycles
+     * actually consumed (less if every thread halted first).
+     */
+    uint64_t run(uint64_t host_cycles);
+
+    /** Run until every thread halts; returns host cycles consumed. */
+    uint64_t runToCompletion(uint64_t max_host_cycles = 1ULL << 40);
+
+    bool allHalted() const;
+
+    uint64_t hostCycles() const { return host_cycles_; }
+    uint64_t instructionsRetired() const;
+
+    /** Host-pipeline utilization: issue slots that retired a target
+     *  instruction / total host cycles. */
+    double utilization() const;
+
+  private:
+    struct Context {
+        CpuState state;
+        Program program;
+        TargetMemory mem;
+        /** Host cycles this thread still owes before its next issue. */
+        uint32_t stall = 0;
+
+        explicit Context(size_t mem_words) : mem(mem_words) {}
+    };
+
+    TimingModel timing_;
+    PipelineParams params_;
+    std::vector<Context> ctx_;
+    uint32_t next_thread_ = 0;
+    uint64_t host_cycles_ = 0;
+    uint64_t issue_slots_used_ = 0;
+};
+
+} // namespace isa
+} // namespace diablo
+
+#endif // DIABLO_ISA_PIPELINE_HH_

@@ -1,0 +1,107 @@
+#ifndef DIABLO_NET_ADDR_HH_
+#define DIABLO_NET_ADDR_HH_
+
+/**
+ * @file
+ * Addressing types for the simulated WSC network.
+ *
+ * Servers are identified by a dense NodeId.  Following the paper (§3.3,
+ * "Use simplified source routing"), packets carry a precomputed source
+ * route — the sequence of output-port indices at each switch hop — rather
+ * than being looked up in per-switch flow tables, since WSC topologies are
+ * static and routes can be preconfigured.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace diablo {
+namespace net {
+
+/** Dense identifier of a simulated server. */
+using NodeId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFF;
+
+/** Transport protocol carried by a packet. */
+enum class Proto : uint8_t { Udp, Tcp };
+
+const char *protoName(Proto p);
+
+/**
+ * Source route: output-port index to take at each successive switch.
+ *
+ * hop() returns the port for the current switch; advance() is called by
+ * each switch's functional model as the packet leaves it.
+ */
+class SourceRoute {
+  public:
+    SourceRoute() = default;
+    explicit SourceRoute(std::vector<uint16_t> ports)
+        : ports_(std::move(ports)) {}
+
+    void append(uint16_t port) { ports_.push_back(port); }
+
+    bool exhausted() const { return next_ >= ports_.size(); }
+    size_t remaining() const { return ports_.size() - next_; }
+    size_t hops() const { return ports_.size(); }
+
+    uint16_t
+    hop() const
+    {
+        return ports_[next_];
+    }
+
+    void advance() { ++next_; }
+
+    /** Bytes this route header occupies on the wire (1 byte per hop). */
+    uint32_t headerBytes() const
+    {
+        return static_cast<uint32_t>(ports_.size());
+    }
+
+    std::string str() const;
+
+  private:
+    std::vector<uint16_t> ports_;
+    size_t next_ = 0;
+};
+
+/** Connection/flow identity: (src, sport, dst, dport, proto). */
+struct FlowKey {
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    uint16_t sport = 0;
+    uint16_t dport = 0;
+    Proto proto = Proto::Udp;
+
+    bool operator==(const FlowKey &) const = default;
+
+    /** The reverse direction of this flow. */
+    FlowKey
+    reversed() const
+    {
+        return FlowKey{dst, src, dport, sport, proto};
+    }
+
+    std::string str() const;
+};
+
+struct FlowKeyHash {
+    size_t
+    operator()(const FlowKey &k) const
+    {
+        uint64_t h = k.src;
+        h = h * 0x100000001B3ULL ^ k.dst;
+        h = h * 0x100000001B3ULL ^ k.sport;
+        h = h * 0x100000001B3ULL ^ k.dport;
+        h = h * 0x100000001B3ULL ^ static_cast<uint8_t>(k.proto);
+        return static_cast<size_t>(h ^ (h >> 32));
+    }
+};
+
+} // namespace net
+} // namespace diablo
+
+#endif // DIABLO_NET_ADDR_HH_

@@ -1,0 +1,100 @@
+#ifndef DIABLO_NET_FAULT_INJECTION_HH_
+#define DIABLO_NET_FAULT_INJECTION_HH_
+
+/**
+ * @file
+ * Fault injection for links: deterministic packet loss, either by
+ * explicit packet index or by seeded Bernoulli trials.
+ *
+ * DIABLO is "fully parameterizable and fully instrumented, and supports
+ * repeatable deterministic experiments" — fault injection follows the
+ * same rule: a drop schedule is a pure function of the seed and the
+ * arrival sequence, so loss-recovery tests are exactly reproducible.
+ */
+
+#include <functional>
+#include <set>
+
+#include "core/random.hh"
+#include "core/stats.hh"
+#include "net/packet.hh"
+
+namespace diablo {
+namespace net {
+
+/**
+ * A sink wrapper that drops selected packets before forwarding.
+ * Interpose between a Link and its real destination:
+ *
+ *   LossySink lossy(nic);
+ *   lossy.dropArrivals({3, 4});   // drop the 4th and 5th arrivals
+ *   link.connectTo(lossy);
+ */
+class LossySink : public PacketSink {
+  public:
+    explicit LossySink(PacketSink &inner) : inner_(inner) {}
+
+    /** Drop packets by 0-based arrival index. */
+    void
+    dropArrivals(std::set<uint64_t> indices)
+    {
+        drop_indices_ = std::move(indices);
+    }
+
+    /** Drop each arrival independently with probability @p p. */
+    void
+    dropRandomly(double p, Rng rng)
+    {
+        drop_prob_ = p;
+        rng_ = rng;
+    }
+
+    /** Drop arrivals for which @p pred returns true. */
+    void
+    dropIf(std::function<bool(const Packet &)> pred)
+    {
+        pred_ = std::move(pred);
+    }
+
+    void
+    receive(PacketPtr p) override
+    {
+        const uint64_t idx = arrivals_.value();
+        arrivals_.inc();
+        bool drop = drop_indices_.count(idx) > 0;
+        if (!drop && drop_prob_ > 0) {
+            drop = rng_.bernoulli(drop_prob_);
+        }
+        if (!drop && pred_) {
+            drop = pred_(*p);
+        }
+        if (drop) {
+            dropped_.inc();
+            return;
+        }
+        inner_.receive(std::move(p));
+    }
+
+    bool
+    wantsEarlyDelivery() const override
+    {
+        return inner_.wantsEarlyDelivery();
+    }
+
+    uint64_t arrivals() const { return arrivals_.value(); }
+    uint64_t dropped() const { return dropped_.value(); }
+
+  private:
+    PacketSink &inner_;
+    std::set<uint64_t> drop_indices_;
+    double drop_prob_ = 0.0;
+    Rng rng_{0};
+    std::function<bool(const Packet &)> pred_;
+    Counter arrivals_;
+    Counter dropped_;
+};
+
+} // namespace net
+} // namespace diablo
+
+#endif // DIABLO_NET_FAULT_INJECTION_HH_

@@ -1,0 +1,75 @@
+#include "net/link.hh"
+
+#include <algorithm>
+
+#include "core/log.hh"
+
+namespace diablo {
+namespace net {
+
+Link::Link(Simulator &sim, std::string name, Bandwidth bw, SimTime prop)
+    : sim_(sim), name_(std::move(name)), bw_(bw), prop_(prop)
+{
+    if (bw.isZero()) {
+        fatal("Link %s: zero bandwidth", name_.c_str());
+    }
+}
+
+SimTime
+Link::transmit(PacketPtr p)
+{
+    if (busy()) {
+        panic("Link %s: transmit while busy", name_.c_str());
+    }
+    if (sink_ == nullptr) {
+        panic("Link %s: no sink attached", name_.c_str());
+    }
+
+    const SimTime ser = bw_.transferTime(p->wireBytes());
+    const SimTime tx_done = sim_.now() + ser;
+    const SimTime arrive_first = sim_.now() + prop_;
+    const SimTime arrive_last = tx_done + prop_;
+
+    free_at_ = tx_done;
+    busy_time_ += ser;
+    packets_.inc();
+    wire_bytes_.inc(p->wireBytes());
+
+    p->first_bit = arrive_first;
+    p->last_bit = arrive_last;
+
+    // Full-delivery sinks get the packet at last-bit arrival; cut-through
+    // sinks once the forwarding header (64 B) has arrived.
+    SimTime deliver_at = arrive_last;
+    if (sink_->wantsEarlyDelivery()) {
+        SimTime header_time = bw_.transferTime(
+            eth::kCutThroughHeaderBytes + eth::kPreambleBytes);
+        deliver_at = std::min(arrive_first + header_time, arrive_last);
+    }
+    Packet *raw = p.release();
+    sim_.scheduleAt(deliver_at, [this, raw] {
+        sink_->receive(PacketPtr(raw));
+    });
+
+    // Notify the transmitter owner when the line frees up.
+    if (tx_done_) {
+        sim_.scheduleAt(tx_done, [this] {
+            if (tx_done_) {
+                tx_done_();
+            }
+        });
+    }
+    return tx_done;
+}
+
+double
+Link::utilization() const
+{
+    if (sim_.now().isZero()) {
+        return 0.0;
+    }
+    return busy_time_.asSeconds() / sim_.now().asSeconds();
+}
+
+} // namespace net
+} // namespace diablo

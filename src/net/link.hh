@@ -1,0 +1,91 @@
+#ifndef DIABLO_NET_LINK_HH_
+#define DIABLO_NET_LINK_HH_
+
+/**
+ * @file
+ * Point-to-point unidirectional link model.
+ *
+ * A Link is the target-side physical channel between a NIC and a switch
+ * port or between two switch ports (the host-side analog in DIABLO is the
+ * time-shared multi-gigabit serial transceiver; that is modeled in
+ * src/fame).  The link charges serialization time at its configured
+ * bandwidth plus a fixed propagation delay, and delivers the packet to the
+ * attached sink at last-bit arrival.
+ *
+ * The link does NOT queue: callers (NIC TX engines, switch egress ports)
+ * own their queues so that buffer management policies are modeled where
+ * they live in the real hardware.  Callers check busy()/nextFreeTime() and
+ * use the tx-done callback to drain.
+ */
+
+#include <functional>
+#include <string>
+
+#include "core/simulator.hh"
+#include "core/stats.hh"
+#include "core/units.hh"
+#include "net/packet.hh"
+
+namespace diablo {
+namespace net {
+
+/** Unidirectional serializing channel with propagation delay. */
+class Link {
+  public:
+    /**
+     * @param sim        owning simulation partition
+     * @param name       for tracing
+     * @param bw         line rate
+     * @param prop       propagation (cable) delay
+     */
+    Link(Simulator &sim, std::string name, Bandwidth bw, SimTime prop);
+
+    /** Attach the receiving endpoint; must be called before transmit. */
+    void connectTo(PacketSink &sink) { sink_ = &sink; }
+
+    /** Invoked when the transmitter becomes free again. */
+    void setTxDoneCallback(std::function<void()> cb)
+    {
+        tx_done_ = std::move(cb);
+    }
+
+    bool busy() const { return sim_.now() < free_at_; }
+
+    /** Time at which the transmitter can accept the next packet. */
+    SimTime nextFreeTime() const { return free_at_; }
+
+    /**
+     * Begin transmitting @p p now.  Panics if the transmitter is busy or
+     * no sink is attached.  Returns the serialization-complete time.
+     * Sets the packet's first_bit/last_bit times (arrival side), which
+     * cut-through switch models use.
+     */
+    SimTime transmit(PacketPtr p);
+
+    Bandwidth bandwidth() const { return bw_; }
+    SimTime propagationDelay() const { return prop_; }
+    const std::string &name() const { return name_; }
+
+    uint64_t packetsSent() const { return packets_.value(); }
+    uint64_t bytesSent() const { return wire_bytes_.value(); }
+
+    /** Fraction of elapsed sim time the transmitter was busy. */
+    double utilization() const;
+
+  private:
+    Simulator &sim_;
+    std::string name_;
+    Bandwidth bw_;
+    SimTime prop_;
+    PacketSink *sink_ = nullptr;
+    std::function<void()> tx_done_;
+    SimTime free_at_;
+    SimTime busy_time_;
+    Counter packets_;
+    Counter wire_bytes_;
+};
+
+} // namespace net
+} // namespace diablo
+
+#endif // DIABLO_NET_LINK_HH_

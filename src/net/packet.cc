@@ -1,0 +1,76 @@
+#include "net/packet.hh"
+
+#include <atomic>
+
+#include "core/log.hh"
+
+namespace diablo {
+namespace net {
+
+const char *
+protoName(Proto p)
+{
+    switch (p) {
+      case Proto::Udp: return "UDP";
+      case Proto::Tcp: return "TCP";
+    }
+    return "?";
+}
+
+std::string
+SourceRoute::str() const
+{
+    std::string out = "[";
+    for (size_t i = 0; i < ports_.size(); ++i) {
+        if (i) {
+            out += ",";
+        }
+        if (i == next_) {
+            out += "*";
+        }
+        out += std::to_string(ports_[i]);
+    }
+    out += "]";
+    return out;
+}
+
+std::string
+FlowKey::str() const
+{
+    return strprintf("%s %u:%u->%u:%u", protoName(proto), src, sport, dst,
+                     dport);
+}
+
+uint32_t
+Packet::transportHeaderBytes() const
+{
+    return flow.proto == Proto::Tcp ? ip::kTcpHeaderBytes
+                                    : ip::kUdpHeaderBytes;
+}
+
+uint32_t
+Packet::l3Bytes() const
+{
+    return payload_bytes + transportHeaderBytes() + ip::kIpv4HeaderBytes +
+           route.headerBytes();
+}
+
+std::string
+Packet::str() const
+{
+    return strprintf("pkt#%llu %s payload=%uB l3=%uB",
+                     static_cast<unsigned long long>(id),
+                     flow.str().c_str(), payload_bytes, l3Bytes());
+}
+
+PacketPtr
+makePacket()
+{
+    static std::atomic<uint64_t> next_id{1};
+    auto p = std::make_unique<Packet>();
+    p->id = next_id.fetch_add(1, std::memory_order_relaxed);
+    return p;
+}
+
+} // namespace net
+} // namespace diablo

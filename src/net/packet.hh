@@ -1,0 +1,121 @@
+#ifndef DIABLO_NET_PACKET_HH_
+#define DIABLO_NET_PACKET_HH_
+
+/**
+ * @file
+ * The simulated network packet.
+ *
+ * DIABLO models "the movement of every byte in every packet"; in software
+ * we carry exact byte *counts* for every protocol layer (application
+ * payload, transport header, IP header, Ethernet framing including
+ * preamble/FCS/IFG and minimum-frame padding) so all serialization,
+ * buffering, and goodput numbers are byte-accurate, while application
+ * message *content* rides along as a typed metadata pointer rather than a
+ * literal byte image.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/time.hh"
+#include "core/units.hh"
+#include "net/addr.hh"
+
+namespace diablo {
+namespace net {
+
+/** TCP header flags. */
+namespace tcp_flags {
+inline constexpr uint8_t kSyn = 1 << 0;
+inline constexpr uint8_t kAck = 1 << 1;
+inline constexpr uint8_t kFin = 1 << 2;
+inline constexpr uint8_t kRst = 1 << 3;
+} // namespace tcp_flags
+
+/**
+ * TCP-specific header fields (valid when proto == Proto::Tcp).
+ * Sequence numbers are modeled as unwrapped 64-bit stream offsets; the
+ * on-wire header size is still accounted as the standard 20 bytes.
+ */
+struct TcpFields {
+    uint64_t seq = 0;       ///< first payload byte's stream offset
+    uint64_t ack = 0;       ///< cumulative acknowledgment
+    uint8_t flags = 0;      ///< tcp_flags combination
+    uint64_t window = 0;    ///< advertised receive window, bytes
+
+    bool has(uint8_t f) const { return (flags & f) != 0; }
+};
+
+/** Opaque application message metadata attached to a packet. */
+struct AppData {
+    virtual ~AppData() = default;
+};
+
+/**
+ * A simulated packet.  Owned uniquely; moves through NIC, links and
+ * switches by transfer of the unique_ptr.
+ */
+struct Packet {
+    uint64_t id = 0;            ///< globally unique, for tracing
+
+    FlowKey flow;               ///< 5-tuple
+    TcpFields tcp;              ///< valid iff flow.proto == Tcp
+    uint32_t payload_bytes = 0; ///< application-layer payload length
+
+    // --- UDP/IP fragmentation (valid iff flow.proto == Udp) ---
+    uint64_t dgram_id = 0;      ///< datagram this fragment belongs to
+    uint64_t dgram_bytes = 0;   ///< total datagram payload size
+    uint16_t frag_idx = 0;
+    uint16_t frag_count = 1;
+
+    SourceRoute route;          ///< switch output ports, per the paper
+
+    /** Typed application message (request/response descriptors). */
+    std::shared_ptr<const AppData> app;
+
+    SimTime created;            ///< time the sender NIC started DMA
+    SimTime first_bit;          ///< link delivery bookkeeping (see Link)
+    SimTime last_bit;
+
+    uint32_t hop_count = 0;     ///< switches traversed so far
+
+    /** Transport header size for this packet's protocol. */
+    uint32_t transportHeaderBytes() const;
+
+    /** Layer-3 datagram size: payload + transport + IP + route header. */
+    uint32_t l3Bytes() const;
+
+    /** Total wire occupancy including Ethernet framing and IFG. */
+    uint32_t wireBytes() const { return eth::wireBytes(l3Bytes()); }
+
+    std::string str() const;
+};
+
+using PacketPtr = std::unique_ptr<Packet>;
+
+/** Create a packet with a fresh globally unique id. */
+PacketPtr makePacket();
+
+/** Destination for packets: NIC RX, switch ingress ports, sinks. */
+class PacketSink {
+  public:
+    virtual ~PacketSink() = default;
+
+    /**
+     * Deliver a packet.  For full-delivery sinks (the default; NICs)
+     * this is called at last-bit arrival.  Early-delivery sinks
+     * (cut-through switch ingress) are called once the header has
+     * arrived; the packet's last_bit field still records when its final
+     * bit will arrive, which egress logic must respect.
+     */
+    virtual void receive(PacketPtr p) = 0;
+
+    /** Return true to receive packets at header arrival (cut-through). */
+    virtual bool wantsEarlyDelivery() const { return false; }
+};
+
+} // namespace net
+} // namespace diablo
+
+#endif // DIABLO_NET_PACKET_HH_

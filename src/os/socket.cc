@@ -1,0 +1,25 @@
+#include "os/socket.hh"
+
+#include "os/tcp.hh"
+
+namespace diablo {
+namespace os {
+
+bool
+Socket::readReady() const
+{
+    if (listening) {
+        return !accept_queue.empty();
+    }
+    if (proto == net::Proto::Udp) {
+        return !dgram_rx.empty();
+    }
+    if (conn != nullptr) {
+        return conn->available() > 0 || conn->atEof() ||
+               conn->state() == TcpConnection::State::Closed;
+    }
+    return false;
+}
+
+} // namespace os
+} // namespace diablo

@@ -1,0 +1,89 @@
+#ifndef DIABLO_OS_SOCKET_HH_
+#define DIABLO_OS_SOCKET_HH_
+
+/**
+ * @file
+ * Socket objects: the kernel-side endpoints of the standard socket API.
+ *
+ * Applications exchange *messages* carried on byte-accurate packets.
+ * Stream (TCP) sockets deliver bytes in order with application message
+ * descriptors attached to their final byte; datagram (UDP) sockets
+ * deliver whole datagrams and drop on receive-buffer overflow, exactly
+ * the failure mode that matters for memcached-over-UDP at scale.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "net/packet.hh"
+#include "os/wait_queue.hh"
+
+namespace diablo {
+namespace os {
+
+class TcpConnection;
+class EpollInstance;
+
+/** One received application message (UDP datagram or TCP-framed). */
+struct RecvedMessage {
+    std::shared_ptr<const net::AppData> msg;
+    uint64_t bytes = 0;
+    net::NodeId from = net::kInvalidNode;
+    uint16_t from_port = 0;
+};
+
+/** Common errno-style results (negative, as the syscalls return them). */
+namespace err {
+inline constexpr long kAgain = -11;        ///< EAGAIN
+inline constexpr long kBadF = -9;          ///< EBADF
+inline constexpr long kConnRefused = -111; ///< ECONNREFUSED
+inline constexpr long kConnReset = -104;   ///< ECONNRESET
+inline constexpr long kInUse = -98;        ///< EADDRINUSE
+inline constexpr long kInval = -22;        ///< EINVAL
+inline constexpr long kNotConn = -107;     ///< ENOTCONN
+inline constexpr long kTimedOut = -110;    ///< ETIMEDOUT
+} // namespace err
+
+/** Kernel socket object. */
+class Socket {
+  public:
+    Socket(Simulator &sim, int fd, net::Proto proto)
+        : fd(fd), proto(proto), readers(sim), writers(sim) {}
+
+    int fd;
+    net::Proto proto;
+    uint16_t local_port = 0;
+    bool bound = false;
+    bool closed = false;
+
+    // --- TCP state ---
+    /** Established connection (non-listening TCP sockets). */
+    TcpConnection *conn = nullptr;
+    bool listening = false;
+    uint32_t backlog_max = 0;
+    /** Fully established connections waiting for accept(). */
+    std::deque<TcpConnection *> accept_queue;
+
+    // --- UDP state ---
+    std::deque<RecvedMessage> dgram_rx;
+    uint64_t dgram_rx_bytes = 0;
+    uint64_t dgram_rx_capacity = 212992; ///< net.core.rmem_default
+    uint64_t dgram_drops = 0;
+
+    /** Tasks blocked in recv/accept. */
+    WaitQueue readers;
+    /** Tasks blocked for TCP send-buffer space or connect completion. */
+    WaitQueue writers;
+
+    /** Epoll instance watching this fd (at most one). */
+    EpollInstance *epoll = nullptr;
+
+    /** Level-triggered read readiness. */
+    bool readReady() const;
+};
+
+} // namespace os
+} // namespace diablo
+
+#endif // DIABLO_OS_SOCKET_HH_

@@ -1,0 +1,83 @@
+#ifndef DIABLO_OS_THREAD_HH_
+#define DIABLO_OS_THREAD_HH_
+
+/**
+ * @file
+ * Simulated user thread.
+ *
+ * A Thread is the schedulable identity application coroutines run under.
+ * Awaiting compute() charges fixed-CPI cycles on the server's single CPU
+ * in the User scheduling class; the CPU model adds queueing delay,
+ * timeslice rotation and context-switch penalties, which is how "the OS
+ * can be the dominant factor" effects emerge in the experiments.
+ */
+
+#include <coroutine>
+#include <cstdint>
+#include <string>
+
+#include "os/cpu.hh"
+
+namespace diablo {
+namespace os {
+
+class Kernel;
+
+/** Schedulable user-thread identity. */
+class Thread {
+  public:
+    Thread(Kernel &kernel, Cpu &cpu, uint64_t id, std::string name)
+        : kernel_(kernel), cpu_(cpu), id_(id), name_(std::move(name)) {}
+
+    Thread(const Thread &) = delete;
+    Thread &operator=(const Thread &) = delete;
+
+    uint64_t id() const { return id_; }
+    const std::string &name() const { return name_; }
+    Kernel &kernel() { return kernel_; }
+    Cpu &cpu() { return cpu_; }
+
+    struct ComputeAwaiter {
+        Cpu &cpu;
+        SchedClass cls;
+        uint64_t cycles;
+        uint64_t tag;
+
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            cpu.submit(cls, cycles, tag, [h] { h.resume(); });
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    /** Execute @p cycles of user-mode work on the server CPU. */
+    ComputeAwaiter
+    compute(uint64_t cycles)
+    {
+        return ComputeAwaiter{cpu_, SchedClass::User, cycles, id_};
+    }
+
+    /** Execute kernel-mode work on behalf of this thread (syscalls). */
+    ComputeAwaiter
+    kcompute(uint64_t cycles)
+    {
+        // Syscall work runs in process context, so it is schedulable like
+        // the thread itself (class User), still paying queueing delays.
+        return ComputeAwaiter{cpu_, SchedClass::User, cycles, id_};
+    }
+
+  private:
+    Kernel &kernel_;
+    Cpu &cpu_;
+    uint64_t id_;
+    std::string name_;
+};
+
+} // namespace os
+} // namespace diablo
+
+#endif // DIABLO_OS_THREAD_HH_

@@ -1,0 +1,152 @@
+#ifndef DIABLO_OS_WAIT_QUEUE_HH_
+#define DIABLO_OS_WAIT_QUEUE_HH_
+
+/**
+ * @file
+ * Kernel wait queue: the blocking primitive every simulated syscall uses.
+ *
+ * Mirrors Linux wait queues: a task sleeps on a queue until a wakeup (or
+ * an optional timeout) settles it.  Waiter nodes live in the suspended
+ * coroutine's frame, so no allocation happens per block, and resumptions
+ * are routed through the event queue to preserve deterministic ordering.
+ */
+
+#include <coroutine>
+#include <deque>
+
+#include "core/simulator.hh"
+
+namespace diablo {
+namespace os {
+
+/** Value returned from a timed-out wait (Linux -ETIMEDOUT). */
+inline constexpr long kWaitTimedOut = -110;
+
+/** FIFO wait queue with optional per-waiter timeout. */
+class WaitQueue {
+  public:
+    explicit WaitQueue(Simulator &sim) : sim_(sim) {}
+
+    WaitQueue(const WaitQueue &) = delete;
+    WaitQueue &operator=(const WaitQueue &) = delete;
+
+    struct Awaiter {
+        WaitQueue &wq;
+        SimTime timeout;
+        std::coroutine_handle<> h;
+        long value = 0;
+        bool settled = false;
+        EventId timer;
+
+        /**
+         * Awaiter nodes live in the suspended coroutine's frame.  They
+         * must never outlive their queue membership: the destructor
+         * unlinks, so destroying a suspended frame (teardown) or
+         * returning from a timed-out wait cannot leave a dangling
+         * pointer in nodes_.
+         */
+        ~Awaiter() { wq.remove(this); }
+
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> handle)
+        {
+            h = handle;
+            wq.nodes_.push_back(this);
+            if (timeout != SimTime::max()) {
+                timer = wq.sim_.schedule(timeout, [this] {
+                    if (!settled) {
+                        settled = true;
+                        value = kWaitTimedOut;
+                        wq.remove(this);
+                        wq.sim_.schedule(SimTime(), [this] { h.resume(); },
+                                         event_prio::kWakeup);
+                    }
+                }, event_prio::kTimer);
+            }
+        }
+
+        long
+        await_resume()
+        {
+            wq.sim_.cancel(timer);
+            return value;
+        }
+    };
+
+    /**
+     * Block the calling coroutine until wakeOne()/wakeAll() or, if
+     * @p timeout is finite, until it elapses (then kWaitTimedOut).
+     */
+    Awaiter
+    wait(SimTime timeout = SimTime::max())
+    {
+        return Awaiter{*this, timeout, {}, 0, false, {}};
+    }
+
+    /** Wake the oldest waiter with @p value; false if none waited. */
+    bool
+    wakeOne(long value = 0)
+    {
+        while (!nodes_.empty()) {
+            Awaiter *n = nodes_.front();
+            nodes_.pop_front();
+            if (n->settled) {
+                continue; // settled but not yet unlinked
+            }
+            settle(n, value);
+            return true;
+        }
+        return false;
+    }
+
+    /** Unlink a node (timeout or frame destruction). */
+    void
+    remove(Awaiter *node)
+    {
+        for (auto it = nodes_.begin(); it != nodes_.end(); ++it) {
+            if (*it == node) {
+                nodes_.erase(it);
+                return;
+            }
+        }
+    }
+
+    /** Wake every current waiter with @p value. */
+    void
+    wakeAll(long value = 0)
+    {
+        while (wakeOne(value)) {
+        }
+    }
+
+    bool
+    hasWaiters() const
+    {
+        for (Awaiter *n : nodes_) {
+            if (!n->settled) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+  private:
+    void
+    settle(Awaiter *n, long value)
+    {
+        n->settled = true;
+        n->value = value;
+        sim_.schedule(SimTime(), [n] { n->h.resume(); },
+                      event_prio::kWakeup);
+    }
+
+    Simulator &sim_;
+    std::deque<Awaiter *> nodes_;
+};
+
+} // namespace os
+} // namespace diablo
+
+#endif // DIABLO_OS_WAIT_QUEUE_HH_

@@ -1,0 +1,144 @@
+#include "sim/cluster.hh"
+
+#include "core/log.hh"
+
+namespace diablo {
+namespace sim {
+
+namespace {
+
+switchm::SwitchParams
+shallowGigeSwitch()
+{
+    switchm::SwitchParams p;
+    p.port_bw = Bandwidth::gbps(1);
+    p.port_latency = SimTime::us(1);
+    p.cut_through = true;
+    p.buffer_policy = switchm::BufferPolicy::Partitioned;
+    p.buffer_per_port_bytes = 4096; // Nortel 5500-class shallow buffer
+    return p;
+}
+
+} // namespace
+
+ClusterParams
+ClusterParams::gige1us()
+{
+    ClusterParams p;
+    p.topo.rack_sw = shallowGigeSwitch();
+    // Aggregation-layer switches carry deep shared packet memory with
+    // Broadcom-style dynamic thresholds (the paper models its buffers
+    // "after the Cisco Nexus 5000 ... configurable parameters selected
+    // according to a Broadcom switch design"); the paper's memcached
+    // runs see queueing tails there but **no** buffer-overrun
+    // retransmissions, which requires megabyte-class pools.
+    p.topo.array_sw = shallowGigeSwitch();
+    p.topo.array_sw.buffer_policy = switchm::BufferPolicy::SharedDynamic;
+    p.topo.array_sw.buffer_total_bytes = 2 * 1024 * 1024;
+    p.topo.array_sw.dynamic_alpha = 0.5;
+    p.topo.dc_sw = p.topo.array_sw;
+    p.topo.host_bw = Bandwidth::gbps(1);
+    return p;
+}
+
+ClusterParams
+ClusterParams::tengig100ns()
+{
+    ClusterParams p = gige1us();
+    for (switchm::SwitchParams *sw :
+         {&p.topo.rack_sw, &p.topo.array_sw, &p.topo.dc_sw}) {
+        sw->port_bw = Bandwidth::gbps(10);
+        sw->port_latency = SimTime::ns(100);
+    }
+    p.topo.host_bw = Bandwidth::gbps(10);
+    return p;
+}
+
+void
+ClusterParams::applyConfig(const Config &cfg)
+{
+    topo = topo::ClosParams::fromConfig(cfg, "topo.");
+    cpu = os::CpuParams::fromConfig(cfg, "cpu.");
+    if (cfg.has("kernel.version")) {
+        kernel_profile = os::KernelProfile::byName(
+            cfg.getString("kernel.version", kernel_profile.name));
+    }
+    kernel_profile.applyConfig(cfg, "kernel.");
+    tcp = os::TcpParams::fromConfig(cfg, "tcp.");
+    nic = nic::NicParams::fromConfig(cfg, "nic.");
+    seed = cfg.getUint("seed", seed);
+}
+
+Cluster::Cluster(Simulator &sim, const ClusterParams &params)
+    : sim_(sim), params_(params), rng_(params.seed)
+{
+    network_ = std::make_unique<topo::ClosNetwork>(sim, params_.topo);
+    const uint32_t n = network_->totalServers();
+    servers_.resize(n);
+
+    for (uint32_t node = 0; node < n; ++node) {
+        ServerNode &s = servers_[node];
+        topo::ClosNetwork *net = network_.get();
+        s.kernel = std::make_unique<os::Kernel>(
+            sim, node, params_.cpu, params_.kernel_profile,
+            [net, node](net::NodeId dst) { return net->route(node, dst); });
+        s.kernel->setTcpParams(params_.tcp);
+
+        s.nic = std::make_unique<nic::NicModel>(
+            sim, strprintf("nic%u", node), params_.nic);
+        s.nic->attachKernel(*s.kernel);
+
+        s.uplink = std::make_unique<net::Link>(
+            sim, strprintf("srv%u.up", node), params_.topo.host_bw,
+            params_.topo.host_link_prop);
+        s.uplink->connectTo(network_->serverIngress(node));
+        s.nic->attachTxLink(*s.uplink);
+
+        network_->attachServerSink(node, *s.nic);
+    }
+}
+
+Cluster::~Cluster() = default;
+
+uint64_t
+Cluster::totalTcpRetransmits() const
+{
+    uint64_t n = 0;
+    for (const auto &s : servers_) {
+        n += s.kernel->stats().tcp_retransmits;
+    }
+    return n;
+}
+
+uint64_t
+Cluster::totalTcpRtos() const
+{
+    uint64_t n = 0;
+    for (const auto &s : servers_) {
+        n += s.kernel->stats().tcp_rtos;
+    }
+    return n;
+}
+
+uint64_t
+Cluster::totalUdpSocketDrops() const
+{
+    uint64_t n = 0;
+    for (const auto &s : servers_) {
+        n += s.kernel->stats().udp_rx_overflow_drops;
+    }
+    return n;
+}
+
+uint64_t
+Cluster::totalNicRxDrops() const
+{
+    uint64_t n = 0;
+    for (const auto &s : servers_) {
+        n += s.nic->rxRingDrops();
+    }
+    return n;
+}
+
+} // namespace sim
+} // namespace diablo

@@ -1,0 +1,106 @@
+#ifndef DIABLO_SIM_CLUSTER_HH_
+#define DIABLO_SIM_CLUSTER_HH_
+
+/**
+ * @file
+ * The top-level public API: a fully wired simulated WSC array.
+ *
+ * A Cluster owns the Clos fabric plus, for every server, a kernel
+ * (CPU/OS/TCP/UDP model) and a NIC, all parameterized at runtime like
+ * DIABLO's FAME models.  Applications (src/apps) are installed on server
+ * kernels and run as coroutines; statistics flow out through the models'
+ * accessors.
+ *
+ * Typical use:
+ * @code
+ *   Simulator sim;
+ *   sim::ClusterParams params = sim::ClusterParams::gige1us();
+ *   params.topo.num_arrays = 1;
+ *   sim::Cluster cluster(sim, params);
+ *   cluster.kernel(0).spawnProcess(myServerApp(cluster.kernel(0)));
+ *   sim.run();
+ * @endcode
+ */
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/random.hh"
+#include "core/simulator.hh"
+#include "nic/nic_model.hh"
+#include "os/kernel.hh"
+#include "topo/clos.hh"
+
+namespace diablo {
+namespace sim {
+
+/** Everything needed to instantiate a cluster. */
+struct ClusterParams {
+    topo::ClosParams topo;
+    os::CpuParams cpu;
+    os::KernelProfile kernel_profile = os::KernelProfile::linux2639();
+    os::TcpParams tcp;
+    nic::NicParams nic;
+    uint64_t seed = 20150314;
+
+    /**
+     * The paper's 1 Gbps configuration: 1 us port-to-port switch
+     * latency, shallow 4 KB per-port buffers (Nortel 5500-like).
+     */
+    static ClusterParams gige1us();
+
+    /**
+     * The paper's upgraded interconnect: 10 Gbps, 100 ns port-to-port
+     * latency, same shallow buffer configuration.
+     */
+    static ClusterParams tengig100ns();
+
+    /** Apply dotted-key overrides (cpu., kernel., tcp., nic., topo.). */
+    void applyConfig(const Config &cfg);
+};
+
+/** A wired WSC array: fabric + servers. */
+class Cluster {
+  public:
+    Cluster(Simulator &sim, const ClusterParams &params);
+    ~Cluster();
+
+    Cluster(const Cluster &) = delete;
+    Cluster &operator=(const Cluster &) = delete;
+
+    Simulator &sim() { return sim_; }
+    uint32_t size() const { return network_->totalServers(); }
+    const ClusterParams &params() const { return params_; }
+
+    os::Kernel &kernel(net::NodeId node) { return *servers_[node].kernel; }
+    nic::NicModel &nic(net::NodeId node) { return *servers_[node].nic; }
+    topo::ClosNetwork &network() { return *network_; }
+
+    /** Master random stream; fork per component/app. */
+    Rng &rng() { return rng_; }
+
+    // --- aggregate statistics across all servers ---
+    uint64_t totalTcpRetransmits() const;
+    uint64_t totalTcpRtos() const;
+    uint64_t totalUdpSocketDrops() const;
+    uint64_t totalNicRxDrops() const;
+
+  private:
+    struct ServerNode {
+        std::unique_ptr<os::Kernel> kernel;
+        std::unique_ptr<nic::NicModel> nic;
+        std::unique_ptr<net::Link> uplink; ///< NIC -> ToR
+    };
+
+    Simulator &sim_;
+    ClusterParams params_;
+    std::unique_ptr<topo::ClosNetwork> network_;
+    std::vector<ServerNode> servers_;
+    Rng rng_;
+};
+
+} // namespace sim
+} // namespace diablo
+
+#endif // DIABLO_SIM_CLUSTER_HH_

@@ -1,0 +1,114 @@
+#include "switchm/buffer_manager.hh"
+
+#include "core/log.hh"
+
+namespace diablo {
+namespace switchm {
+
+std::unique_ptr<BufferManager>
+BufferManager::create(const SwitchParams &p)
+{
+    switch (p.buffer_policy) {
+      case BufferPolicy::Partitioned:
+        return std::make_unique<PartitionedBuffer>(
+            p.num_ports, p.buffer_per_port_bytes);
+      case BufferPolicy::Shared:
+        return std::make_unique<SharedBuffer>(p.num_ports,
+                                              p.buffer_total_bytes);
+      case BufferPolicy::SharedDynamic:
+        return std::make_unique<SharedDynamicBuffer>(
+            p.num_ports, p.buffer_total_bytes, p.dynamic_alpha);
+    }
+    panic("unreachable buffer policy");
+}
+
+PartitionedBuffer::PartitionedBuffer(uint32_t ports, uint64_t per_port_bytes)
+    : cap_(per_port_bytes), used_(ports, 0)
+{
+}
+
+bool
+PartitionedBuffer::tryAdmit(uint32_t port, uint32_t bytes)
+{
+    if (used_[port] + bytes > cap_) {
+        return false;
+    }
+    used_[port] += bytes;
+    total_used_ += bytes;
+    return true;
+}
+
+void
+PartitionedBuffer::release(uint32_t port, uint32_t bytes)
+{
+    if (used_[port] < bytes) {
+        panic("PartitionedBuffer: release underflow on port %u", port);
+    }
+    used_[port] -= bytes;
+    total_used_ -= bytes;
+}
+
+SharedBuffer::SharedBuffer(uint32_t ports, uint64_t total_bytes)
+    : cap_(total_bytes), used_(ports, 0)
+{
+}
+
+bool
+SharedBuffer::tryAdmit(uint32_t port, uint32_t bytes)
+{
+    if (total_used_ + bytes > cap_) {
+        return false;
+    }
+    used_[port] += bytes;
+    total_used_ += bytes;
+    return true;
+}
+
+void
+SharedBuffer::release(uint32_t port, uint32_t bytes)
+{
+    if (used_[port] < bytes) {
+        panic("SharedBuffer: release underflow on port %u", port);
+    }
+    used_[port] -= bytes;
+    total_used_ -= bytes;
+}
+
+SharedDynamicBuffer::SharedDynamicBuffer(uint32_t ports,
+                                         uint64_t total_bytes, double alpha)
+    : cap_(total_bytes), alpha_(alpha), used_(ports, 0)
+{
+    if (alpha <= 0) {
+        fatal("SharedDynamicBuffer: alpha must be positive");
+    }
+}
+
+bool
+SharedDynamicBuffer::tryAdmit(uint32_t port, uint32_t bytes)
+{
+    if (total_used_ + bytes > cap_) {
+        return false;
+    }
+    const uint64_t free_bytes = cap_ - total_used_;
+    const auto threshold =
+        static_cast<uint64_t>(alpha_ * static_cast<double>(free_bytes));
+    if (used_[port] + bytes > threshold) {
+        return false;
+    }
+    used_[port] += bytes;
+    total_used_ += bytes;
+    return true;
+}
+
+void
+SharedDynamicBuffer::release(uint32_t port, uint32_t bytes)
+{
+    if (used_[port] < bytes) {
+        panic("SharedDynamicBuffer: release underflow on port %u", port);
+    }
+    used_[port] -= bytes;
+    total_used_ -= bytes;
+}
+
+} // namespace switchm
+} // namespace diablo

@@ -1,0 +1,113 @@
+#include "switchm/output_queue_switch.hh"
+
+#include <algorithm>
+
+#include "core/log.hh"
+
+namespace diablo {
+namespace switchm {
+
+OutputQueueSwitch::OutputQueueSwitch(Simulator &sim,
+                                     const SwitchParams &params)
+    : sim_(sim), params_(params), buffer_(BufferManager::create(params)),
+      ingress_(params.num_ports), outputs_(params.num_ports)
+{
+    for (uint32_t i = 0; i < params.num_ports; ++i) {
+        ingress_[i].sw = this;
+        ingress_[i].port = i;
+    }
+}
+
+net::PacketSink &
+OutputQueueSwitch::inPort(uint32_t i)
+{
+    if (i >= ingress_.size()) {
+        panic("%s: inPort %u out of range", params_.name.c_str(), i);
+    }
+    return ingress_[i];
+}
+
+void
+OutputQueueSwitch::attachOutLink(uint32_t i, net::Link &link)
+{
+    if (i >= outputs_.size()) {
+        panic("%s: attachOutLink %u out of range", params_.name.c_str(), i);
+    }
+    outputs_[i].link = &link;
+    link.setTxDoneCallback([this, i] { kickOutput(i); });
+}
+
+uint64_t
+OutputQueueSwitch::dropsAt(uint32_t port) const
+{
+    return outputs_[port].drops;
+}
+
+void
+OutputQueueSwitch::handleIngress(net::PacketPtr p)
+{
+    if (p->route.exhausted()) {
+        panic("%s: packet %s arrived with exhausted route",
+              params_.name.c_str(), p->str().c_str());
+    }
+    const uint32_t out = p->route.hop();
+    p->route.advance();
+    ++p->hop_count;
+    if (out >= outputs_.size()) {
+        panic("%s: route names invalid output port %u",
+              params_.name.c_str(), out);
+    }
+    Output &o = outputs_[out];
+    if (o.link == nullptr) {
+        panic("%s: output port %u has no link", params_.name.c_str(), out);
+    }
+
+    const uint32_t buf_bytes = eth::frameBufferBytes(p->l3Bytes());
+    if (!buffer_->tryAdmit(out, buf_bytes)) {
+        ++o.drops;
+        ++stats_.dropped_pkts;
+        stats_.dropped_bytes += buf_bytes;
+        return;
+    }
+    stats_.max_buffer_used =
+        std::max(stats_.max_buffer_used, buffer_->used());
+
+    Queued q;
+    q.eligible = sim_.now() + params_.port_latency;
+    q.buf_bytes = buf_bytes;
+    q.pkt = std::move(p);
+    o.fifo.push_back(std::move(q));
+    kickOutput(out);
+}
+
+void
+OutputQueueSwitch::kickOutput(uint32_t out_port)
+{
+    Output &o = outputs_[out_port];
+    if (o.fifo.empty() || o.link->busy()) {
+        return;
+    }
+    Queued &head = o.fifo.front();
+    const SimTime now = sim_.now();
+    if (head.eligible > now) {
+        sim_.cancel(o.pending_kick);
+        o.pending_kick = sim_.scheduleAt(head.eligible, [this, out_port] {
+            kickOutput(out_port);
+        });
+        return;
+    }
+
+    Queued item = std::move(o.fifo.front());
+    o.fifo.pop_front();
+    ++stats_.forwarded_pkts;
+    stats_.forwarded_bytes += item.pkt->l3Bytes();
+
+    const uint32_t buf_bytes = item.buf_bytes;
+    const SimTime tx_done = o.link->transmit(std::move(item.pkt));
+    sim_.scheduleAt(tx_done, [this, out_port, buf_bytes] {
+        buffer_->release(out_port, buf_bytes);
+    });
+}
+
+} // namespace switchm
+} // namespace diablo

@@ -1,0 +1,78 @@
+#ifndef DIABLO_SWITCHM_OUTPUT_QUEUE_SWITCH_HH_
+#define DIABLO_SWITCHM_OUTPUT_QUEUE_SWITCH_HH_
+
+/**
+ * @file
+ * Simple store-and-forward output-queued drop-tail switch.
+ *
+ * This is the "ns2-like" baseline the paper compares DIABLO against in
+ * Figure 6(a): one FIFO per output in arrival order, no virtual output
+ * queues, full frame received before forwarding.  Kept deliberately
+ * minimal so ablations isolate the effect of the VOQ architecture.
+ */
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/simulator.hh"
+#include "switchm/buffer_manager.hh"
+#include "switchm/switch.hh"
+
+namespace diablo {
+namespace switchm {
+
+/** Store-and-forward drop-tail switch with per-output FIFOs. */
+class OutputQueueSwitch : public Switch {
+  public:
+    OutputQueueSwitch(Simulator &sim, const SwitchParams &params);
+
+    net::PacketSink &inPort(uint32_t i) override;
+    void attachOutLink(uint32_t i, net::Link &link) override;
+
+    const SwitchParams &params() const override { return params_; }
+    const SwitchStats &stats() const override { return stats_; }
+    uint64_t dropsAt(uint32_t port) const override;
+
+  private:
+    struct Ingress : net::PacketSink {
+        OutputQueueSwitch *sw = nullptr;
+        uint32_t port = 0;
+
+        void
+        receive(net::PacketPtr p) override
+        {
+            sw->handleIngress(std::move(p));
+        }
+
+        // Always store-and-forward: never request early delivery.
+    };
+
+    struct Queued {
+        net::PacketPtr pkt;
+        SimTime eligible;
+        uint32_t buf_bytes;
+    };
+
+    struct Output {
+        net::Link *link = nullptr;
+        std::deque<Queued> fifo;
+        EventId pending_kick;
+        uint64_t drops = 0;
+    };
+
+    void handleIngress(net::PacketPtr p);
+    void kickOutput(uint32_t out_port);
+
+    Simulator &sim_;
+    SwitchParams params_;
+    std::unique_ptr<BufferManager> buffer_;
+    std::vector<Ingress> ingress_;
+    std::vector<Output> outputs_;
+    SwitchStats stats_;
+};
+
+} // namespace switchm
+} // namespace diablo
+
+#endif // DIABLO_SWITCHM_OUTPUT_QUEUE_SWITCH_HH_

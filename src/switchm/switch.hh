@@ -1,0 +1,56 @@
+#ifndef DIABLO_SWITCHM_SWITCH_HH_
+#define DIABLO_SWITCHM_SWITCH_HH_
+
+/**
+ * @file
+ * Abstract interface of a simulated switch.
+ *
+ * Following the paper's functional/timing split, every switch model's
+ * *functional* job is fixed — read the next hop from the packet's source
+ * route and move the packet to that output — while its *timing* (latency,
+ * bandwidth, buffering, scheduling) is the model-specific part.
+ */
+
+#include <cstdint>
+
+#include "net/link.hh"
+#include "net/packet.hh"
+#include "switchm/switch_params.hh"
+
+namespace diablo {
+namespace switchm {
+
+/** Aggregate statistics every switch model maintains. */
+struct SwitchStats {
+    uint64_t forwarded_pkts = 0;
+    uint64_t forwarded_bytes = 0;
+    uint64_t dropped_pkts = 0;
+    uint64_t dropped_bytes = 0;
+    uint64_t max_buffer_used = 0;
+};
+
+/** A switch with N bidirectional ports. */
+class Switch {
+  public:
+    virtual ~Switch() = default;
+
+    /** Ingress sink of port @p i; connect the upstream Link here. */
+    virtual net::PacketSink &inPort(uint32_t i) = 0;
+
+    /**
+     * Attach the egress link of port @p i.  The switch takes over the
+     * link's tx-done callback to drain its queues.
+     */
+    virtual void attachOutLink(uint32_t i, net::Link &link) = 0;
+
+    virtual const SwitchParams &params() const = 0;
+    virtual const SwitchStats &stats() const = 0;
+
+    /** Packets dropped at a specific output port. */
+    virtual uint64_t dropsAt(uint32_t port) const = 0;
+};
+
+} // namespace switchm
+} // namespace diablo
+
+#endif // DIABLO_SWITCHM_SWITCH_HH_

@@ -1,0 +1,65 @@
+#include "switchm/switch_params.hh"
+
+#include "core/log.hh"
+
+namespace diablo {
+namespace switchm {
+
+const char *
+bufferPolicyName(BufferPolicy p)
+{
+    switch (p) {
+      case BufferPolicy::Partitioned:   return "partitioned";
+      case BufferPolicy::Shared:        return "shared";
+      case BufferPolicy::SharedDynamic: return "shared_dynamic";
+    }
+    return "?";
+}
+
+BufferPolicy
+bufferPolicyFromString(const std::string &s)
+{
+    if (s == "partitioned") {
+        return BufferPolicy::Partitioned;
+    }
+    if (s == "shared") {
+        return BufferPolicy::Shared;
+    }
+    if (s == "shared_dynamic") {
+        return BufferPolicy::SharedDynamic;
+    }
+    fatal("unknown buffer policy '%s'", s.c_str());
+}
+
+SwitchParams
+SwitchParams::fromConfig(const Config &cfg, const std::string &prefix,
+                         const SwitchParams &defaults)
+{
+    SwitchParams p = defaults;
+    p.name = cfg.getString(prefix + "name", p.name);
+    p.num_ports = static_cast<uint32_t>(
+        cfg.getUint(prefix + "num_ports", p.num_ports));
+    p.port_bw = Bandwidth::bps(
+        cfg.getDouble(prefix + "port_gbps", p.port_bw.asGbps()) * 1e9);
+    p.port_latency = SimTime::nanoseconds(
+        cfg.getDouble(prefix + "port_latency_ns",
+                      p.port_latency.asNanos()));
+    p.cut_through = cfg.getBool(prefix + "cut_through", p.cut_through);
+    p.buffer_policy = bufferPolicyFromString(
+        cfg.getString(prefix + "buffer_policy",
+                      bufferPolicyName(p.buffer_policy)));
+    p.buffer_per_port_bytes =
+        cfg.getUint(prefix + "buffer_per_port_bytes",
+                    p.buffer_per_port_bytes);
+    p.buffer_total_bytes =
+        cfg.getUint(prefix + "buffer_total_bytes", p.buffer_total_bytes);
+    p.dynamic_alpha =
+        cfg.getDouble(prefix + "dynamic_alpha", p.dynamic_alpha);
+    if (p.num_ports == 0) {
+        fatal("switch '%s': num_ports must be > 0", p.name.c_str());
+    }
+    return p;
+}
+
+} // namespace switchm
+} // namespace diablo

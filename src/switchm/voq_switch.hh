@@ -1,0 +1,99 @@
+#ifndef DIABLO_SWITCHM_VOQ_SWITCH_HH_
+#define DIABLO_SWITCHM_VOQ_SWITCH_HH_
+
+/**
+ * @file
+ * The paper's unified abstract switch model: a virtual-output-queue
+ * switch with a simple round-robin scheduler (§3.3), used for every
+ * level of the WSC network hierarchy with per-level latency, bandwidth
+ * and buffer parameters.
+ *
+ * Per-(output, input) virtual queues prevent head-of-line blocking; each
+ * output port independently round-robins across the inputs that have a
+ * packet queued for it.  Packet memory is an *input-side* resource: a
+ * packet is charged against the buffer partition of the port it arrived
+ * on (VOQs live at the inputs), so one congested sender cannot consume
+ * another input's buffering — unlike the output-queued baseline, where
+ * all ingress traffic to a hot output competes for that output's FIFO.
+ * Cut-through forwarding is supported: the packet is handed to the
+ * switch at header arrival and may begin egress transmission
+ * immediately, constrained so its egress transmission never finishes
+ * before its ingress bits have arrived.
+ */
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/simulator.hh"
+#include "switchm/buffer_manager.hh"
+#include "switchm/switch.hh"
+
+namespace diablo {
+namespace switchm {
+
+/** Virtual-output-queue switch with round-robin egress scheduling. */
+class VoqSwitch : public Switch {
+  public:
+    VoqSwitch(Simulator &sim, const SwitchParams &params);
+
+    net::PacketSink &inPort(uint32_t i) override;
+    void attachOutLink(uint32_t i, net::Link &link) override;
+
+    const SwitchParams &params() const override { return params_; }
+    const SwitchStats &stats() const override { return stats_; }
+    uint64_t dropsAt(uint32_t port) const override;
+
+    /** Current buffer occupancy (bytes) across the switch. */
+    uint64_t bufferUsed() const { return buffer_->used(); }
+
+  private:
+    struct Ingress : net::PacketSink {
+        VoqSwitch *sw = nullptr;
+        uint32_t port = 0;
+
+        void
+        receive(net::PacketPtr p) override
+        {
+            sw->handleIngress(port, std::move(p));
+        }
+
+        bool
+        wantsEarlyDelivery() const override
+        {
+            return sw->params_.cut_through;
+        }
+    };
+
+    struct Queued {
+        net::PacketPtr pkt;
+        SimTime eligible;     ///< earliest egress transmit start
+        uint32_t buf_bytes;   ///< buffer accounting charge
+        uint32_t in_port;     ///< input whose partition holds the bytes
+    };
+
+    struct Output {
+        net::Link *link = nullptr;
+        /** One virtual queue per input port. */
+        std::vector<std::deque<Queued>> voq;
+        uint32_t rr = 0;
+        uint32_t queued_pkts = 0;
+        EventId pending_kick;
+        uint64_t drops = 0;
+    };
+
+    void handleIngress(uint32_t in_port, net::PacketPtr p);
+    void kickOutput(uint32_t out_port);
+
+    Simulator &sim_;
+    SwitchParams params_;
+    std::unique_ptr<BufferManager> buffer_;
+    std::vector<Ingress> ingress_;
+    std::vector<Output> outputs_;
+    SwitchStats stats_;
+};
+
+} // namespace switchm
+} // namespace diablo
+
+#endif // DIABLO_SWITCHM_VOQ_SWITCH_HH_

@@ -1,0 +1,262 @@
+#include "topo/clos.hh"
+
+#include "core/log.hh"
+#include "switchm/output_queue_switch.hh"
+#include "switchm/voq_switch.hh"
+
+namespace diablo {
+namespace topo {
+
+ClosParams
+ClosParams::fromConfig(const Config &cfg, const std::string &prefix)
+{
+    ClosParams p;
+    p.servers_per_rack = static_cast<uint32_t>(
+        cfg.getUint(prefix + "servers_per_rack", p.servers_per_rack));
+    p.racks_per_array = static_cast<uint32_t>(
+        cfg.getUint(prefix + "racks_per_array", p.racks_per_array));
+    p.num_arrays = static_cast<uint32_t>(
+        cfg.getUint(prefix + "num_arrays", p.num_arrays));
+    const std::string model =
+        cfg.getString(prefix + "switch_model", "voq");
+    if (model == "voq") {
+        p.switch_model = SwitchModelKind::Voq;
+    } else if (model == "output_queue" || model == "oq") {
+        p.switch_model = SwitchModelKind::OutputQueue;
+    } else {
+        fatal("unknown switch model '%s'", model.c_str());
+    }
+    p.rack_sw = switchm::SwitchParams::fromConfig(cfg, prefix + "rack.",
+                                                  p.rack_sw);
+    p.array_sw = switchm::SwitchParams::fromConfig(cfg, prefix + "array.",
+                                                   p.array_sw);
+    p.dc_sw = switchm::SwitchParams::fromConfig(cfg, prefix + "dc.",
+                                                p.dc_sw);
+    p.host_link_prop = SimTime::nanoseconds(cfg.getDouble(
+        prefix + "host_link_prop_ns", p.host_link_prop.asNanos()));
+    p.trunk_link_prop = SimTime::nanoseconds(cfg.getDouble(
+        prefix + "trunk_link_prop_ns", p.trunk_link_prop.asNanos()));
+    p.host_bw = Bandwidth::bps(
+        cfg.getDouble(prefix + "host_gbps", p.host_bw.asGbps()) * 1e9);
+    return p;
+}
+
+const char *
+hopClassName(HopClass h)
+{
+    switch (h) {
+      case HopClass::Local:  return "local";
+      case HopClass::OneHop: return "1-hop";
+      case HopClass::TwoHop: return "2-hop";
+    }
+    return "?";
+}
+
+ClosNetwork::ClosNetwork(Simulator &sim, const ClosParams &params)
+    : sim_(sim), params_(params)
+{
+    const uint32_t S = params_.servers_per_rack;
+    const uint32_t R = params_.racks_per_array;
+    const uint32_t A = params_.num_arrays;
+    if (S == 0 || R == 0 || A == 0) {
+        fatal("ClosNetwork: all dimensions must be positive");
+    }
+    const bool has_array_level = R > 1 || A > 1;
+    const bool has_dc_level = A > 1;
+
+    // Rack switches: S server ports (+1 uplink when an array level
+    // exists).
+    const uint32_t tor_ports = S + (has_array_level ? 1 : 0);
+    const uint32_t num_racks = R * A;
+    for (uint32_t r = 0; r < num_racks; ++r) {
+        rack_switches_.push_back(makeSwitch(
+            params_.rack_sw, tor_ports, "tor" + std::to_string(r)));
+    }
+    server_links_.resize(static_cast<size_t>(num_racks) * S);
+
+    if (has_array_level) {
+        // Array switches: R downlinks (+1 uplink when a DC level exists).
+        const uint32_t arr_ports = R + (has_dc_level ? 1 : 0);
+        for (uint32_t a = 0; a < A; ++a) {
+            array_switches_.push_back(makeSwitch(
+                params_.array_sw, arr_ports, "arr" + std::to_string(a)));
+        }
+        // ToR <-> array trunks.
+        for (uint32_t a = 0; a < A; ++a) {
+            for (uint32_t r = 0; r < R; ++r) {
+                switchm::Switch &tor = *rack_switches_[a * R + r];
+                switchm::Switch &arr = *array_switches_[a];
+                // Up: ToR port S -> array ingress r.
+                auto up = std::make_unique<net::Link>(
+                    sim_, strprintf("tor%u.up", a * R + r),
+                    params_.rack_sw.port_bw, params_.trunk_link_prop);
+                up->connectTo(arr.inPort(r));
+                tor.attachOutLink(S, *up);
+                trunk_links_.push_back(std::move(up));
+                // Down: array egress r -> ToR ingress S.
+                auto down = std::make_unique<net::Link>(
+                    sim_, strprintf("arr%u.down%u", a, r),
+                    params_.array_sw.port_bw, params_.trunk_link_prop);
+                down->connectTo(tor.inPort(S));
+                arr.attachOutLink(r, *down);
+                trunk_links_.push_back(std::move(down));
+            }
+        }
+    }
+
+    if (has_dc_level) {
+        dc_switch_ = makeSwitch(params_.dc_sw, A, "dc");
+        for (uint32_t a = 0; a < A; ++a) {
+            switchm::Switch &arr = *array_switches_[a];
+            auto up = std::make_unique<net::Link>(
+                sim_, strprintf("arr%u.up", a), params_.array_sw.port_bw,
+                params_.trunk_link_prop);
+            up->connectTo(dc_switch_->inPort(a));
+            arr.attachOutLink(R, *up);
+            trunk_links_.push_back(std::move(up));
+
+            auto down = std::make_unique<net::Link>(
+                sim_, strprintf("dc.down%u", a), params_.dc_sw.port_bw,
+                params_.trunk_link_prop);
+            down->connectTo(arr.inPort(R));
+            dc_switch_->attachOutLink(a, *down);
+            trunk_links_.push_back(std::move(down));
+        }
+    }
+}
+
+std::unique_ptr<switchm::Switch>
+ClosNetwork::makeSwitch(const switchm::SwitchParams &base, uint32_t ports,
+                        const std::string &name)
+{
+    switchm::SwitchParams p = base;
+    p.num_ports = ports;
+    p.name = name;
+    switch (params_.switch_model) {
+      case SwitchModelKind::Voq:
+        return std::make_unique<switchm::VoqSwitch>(sim_, p);
+      case SwitchModelKind::OutputQueue:
+        return std::make_unique<switchm::OutputQueueSwitch>(sim_, p);
+    }
+    panic("unreachable switch model kind");
+}
+
+void
+ClosNetwork::checkNode(net::NodeId node) const
+{
+    if (node >= totalServers()) {
+        panic("node id %u out of range (%u servers)", node,
+              totalServers());
+    }
+}
+
+uint32_t
+ClosNetwork::rackOf(net::NodeId node) const
+{
+    return node / params_.servers_per_rack;
+}
+
+uint32_t
+ClosNetwork::arrayOf(net::NodeId node) const
+{
+    return rackOf(node) / params_.racks_per_array;
+}
+
+uint32_t
+ClosNetwork::indexInRack(net::NodeId node) const
+{
+    return node % params_.servers_per_rack;
+}
+
+net::PacketSink &
+ClosNetwork::serverIngress(net::NodeId node)
+{
+    checkNode(node);
+    return rack_switches_[rackOf(node)]->inPort(indexInRack(node));
+}
+
+void
+ClosNetwork::attachServerSink(net::NodeId node, net::PacketSink &nic_sink)
+{
+    checkNode(node);
+    auto link = std::make_unique<net::Link>(
+        sim_, strprintf("tor%u.srv%u", rackOf(node), indexInRack(node)),
+        params_.rack_sw.port_bw, params_.host_link_prop);
+    link->connectTo(nic_sink);
+    rack_switches_[rackOf(node)]->attachOutLink(indexInRack(node), *link);
+    server_links_[node] = std::move(link);
+}
+
+net::SourceRoute
+ClosNetwork::route(net::NodeId src, net::NodeId dst) const
+{
+    checkNode(src);
+    checkNode(dst);
+    if (src == dst) {
+        panic("route to self (loopback bypasses the fabric)");
+    }
+    const uint32_t S = params_.servers_per_rack;
+    const uint32_t R = params_.racks_per_array;
+    const auto dst_idx = static_cast<uint16_t>(indexInRack(dst));
+    const auto dst_rack_local =
+        static_cast<uint16_t>(rackOf(dst) % R);
+
+    if (rackOf(src) == rackOf(dst)) {
+        return net::SourceRoute({dst_idx});
+    }
+    if (arrayOf(src) == arrayOf(dst)) {
+        return net::SourceRoute({static_cast<uint16_t>(S),
+                                 dst_rack_local, dst_idx});
+    }
+    return net::SourceRoute({static_cast<uint16_t>(S),
+                             static_cast<uint16_t>(R),
+                             static_cast<uint16_t>(arrayOf(dst)),
+                             dst_rack_local, dst_idx});
+}
+
+HopClass
+ClosNetwork::hopClass(net::NodeId src, net::NodeId dst) const
+{
+    if (rackOf(src) == rackOf(dst)) {
+        return HopClass::Local;
+    }
+    if (arrayOf(src) == arrayOf(dst)) {
+        return HopClass::OneHop;
+    }
+    return HopClass::TwoHop;
+}
+
+uint64_t
+ClosNetwork::totalSwitchDrops() const
+{
+    uint64_t n = 0;
+    for (const auto &s : rack_switches_) {
+        n += s->stats().dropped_pkts;
+    }
+    for (const auto &s : array_switches_) {
+        n += s->stats().dropped_pkts;
+    }
+    if (dc_switch_) {
+        n += dc_switch_->stats().dropped_pkts;
+    }
+    return n;
+}
+
+uint64_t
+ClosNetwork::totalForwarded() const
+{
+    uint64_t n = 0;
+    for (const auto &s : rack_switches_) {
+        n += s->stats().forwarded_pkts;
+    }
+    for (const auto &s : array_switches_) {
+        n += s->stats().forwarded_pkts;
+    }
+    if (dc_switch_) {
+        n += dc_switch_->stats().forwarded_pkts;
+    }
+    return n;
+}
+
+} // namespace topo
+} // namespace diablo

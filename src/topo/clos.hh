@@ -1,0 +1,141 @@
+#ifndef DIABLO_TOPO_CLOS_HH_
+#define DIABLO_TOPO_CLOS_HH_
+
+/**
+ * @file
+ * Three-level Clos WSC network builder (paper Figures 1 and 7).
+ *
+ * Racks of servers hang off Top-of-Rack switches; each ToR has one
+ * uplink to its array switch (31-to-1 over-subscription in the paper's
+ * memcached topology); each array switch has one uplink to the
+ * datacenter switch (16-to-1).  Source routes are computed statically
+ * from the topology, matching the paper's simplified source routing.
+ *
+ * Degenerate configurations are first-class: a single rack builds just
+ * a ToR (the paper's 16-node validation cluster), a single array builds
+ * two levels without a datacenter switch (the 500-node setup).
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/simulator.hh"
+#include "net/link.hh"
+#include "switchm/switch.hh"
+
+namespace diablo {
+namespace topo {
+
+/** Which switch microarchitecture model to instantiate. */
+enum class SwitchModelKind {
+    Voq,         ///< the paper's abstract VOQ model
+    OutputQueue, ///< ns2-like drop-tail baseline
+};
+
+/** Topology shape and per-level switch parameters. */
+struct ClosParams {
+    uint32_t servers_per_rack = 31;
+    uint32_t racks_per_array = 16;
+    uint32_t num_arrays = 4;
+
+    SwitchModelKind switch_model = SwitchModelKind::Voq;
+
+    /** Per-level switch parameters (num_ports fields are overwritten). */
+    switchm::SwitchParams rack_sw;
+    switchm::SwitchParams array_sw;
+    switchm::SwitchParams dc_sw;
+
+    /** Server-to-ToR cable propagation delay. */
+    SimTime host_link_prop = SimTime::ns(200);
+    /** Switch-to-switch cable propagation delay. */
+    SimTime trunk_link_prop = SimTime::ns(500);
+
+    /** Host NIC line rate (usually equals rack_sw.port_bw). */
+    Bandwidth host_bw = Bandwidth::gbps(1);
+
+    uint32_t totalServers() const
+    {
+        return servers_per_rack * racks_per_array * num_arrays;
+    }
+
+    static ClosParams fromConfig(const Config &cfg,
+                                 const std::string &prefix);
+};
+
+/** Hop classification used by the paper's Figure 10. */
+enum class HopClass {
+    Local,  ///< same rack: one ToR
+    OneHop, ///< same array: ToR - array - ToR
+    TwoHop, ///< cross array: ToR - array - DC - array - ToR
+};
+
+const char *hopClassName(HopClass h);
+
+/**
+ * The built network: switches and trunk links, plus per-server
+ * attachment points and route computation.
+ */
+class ClosNetwork {
+  public:
+    ClosNetwork(Simulator &sim, const ClosParams &params);
+
+    const ClosParams &params() const { return params_; }
+    uint32_t totalServers() const { return params_.totalServers(); }
+
+    /** Ingress sink a server's NIC TX link must connect to. */
+    net::PacketSink &serverIngress(net::NodeId node);
+
+    /**
+     * Attach the server-facing egress: packets for @p node will be
+     * delivered to @p nic_sink over a dedicated ToR-to-server link.
+     */
+    void attachServerSink(net::NodeId node, net::PacketSink &nic_sink);
+
+    /** Static source route from @p src to @p dst. */
+    net::SourceRoute route(net::NodeId src, net::NodeId dst) const;
+
+    HopClass hopClass(net::NodeId src, net::NodeId dst) const;
+
+    // --- layout helpers ---
+    uint32_t rackOf(net::NodeId node) const;   ///< global rack index
+    uint32_t arrayOf(net::NodeId node) const;
+    uint32_t indexInRack(net::NodeId node) const;
+
+    // --- introspection / stats ---
+    size_t numRackSwitches() const { return rack_switches_.size(); }
+    size_t numArraySwitches() const { return array_switches_.size(); }
+    bool hasDcSwitch() const { return dc_switch_ != nullptr; }
+
+    switchm::Switch &rackSwitch(uint32_t i) { return *rack_switches_[i]; }
+    switchm::Switch &arraySwitch(uint32_t i)
+    {
+        return *array_switches_[i];
+    }
+    switchm::Switch &dcSwitch() { return *dc_switch_; }
+
+    /** Sum of dropped packets across every switch in the fabric. */
+    uint64_t totalSwitchDrops() const;
+    uint64_t totalForwarded() const;
+
+  private:
+    std::unique_ptr<switchm::Switch> makeSwitch(
+        const switchm::SwitchParams &base, uint32_t ports,
+        const std::string &name);
+    void checkNode(net::NodeId node) const;
+
+    Simulator &sim_;
+    ClosParams params_;
+
+    std::vector<std::unique_ptr<switchm::Switch>> rack_switches_;
+    std::vector<std::unique_ptr<switchm::Switch>> array_switches_;
+    std::unique_ptr<switchm::Switch> dc_switch_;
+    std::vector<std::unique_ptr<net::Link>> trunk_links_;
+    std::vector<std::unique_ptr<net::Link>> server_links_;
+};
+
+} // namespace topo
+} // namespace diablo
+
+#endif // DIABLO_TOPO_CLOS_HH_

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "analysis/report.hh"
+#include "analysis/survey.hh"
+
+namespace diablo {
+namespace analysis {
+namespace {
+
+TEST(Survey, MatchesPaperAggregates)
+{
+    const auto &entries = sigcommSurvey();
+    ASSERT_EQ(entries.size(), 21u);
+
+    std::vector<double> servers, switches;
+    int micro = 0, trace = 0, app = 0;
+    for (const auto &e : entries) {
+        servers.push_back(e.servers);
+        switches.push_back(e.switches);
+        switch (e.workload) {
+          case SurveyWorkload::Microbenchmark: ++micro; break;
+          case SurveyWorkload::Trace: ++trace; break;
+          case SurveyWorkload::Application: ++app; break;
+        }
+    }
+    // Figure 2: "the median size of physical testbeds contained only 16
+    // servers and 6 switches".
+    EXPECT_DOUBLE_EQ(medianOf(servers), 16.0);
+    EXPECT_DOUBLE_EQ(medianOf(switches), 6.0);
+    // Table 1: 16 microbenchmark / 3 trace / 2 application.
+    EXPECT_EQ(micro, 16);
+    EXPECT_EQ(trace, 3);
+    EXPECT_EQ(app, 2);
+}
+
+TEST(Survey, AllEntriesAreSmallScale)
+{
+    // The paper's point: every testbed is orders of magnitude below a
+    // real WSC array (~3,000 nodes).
+    for (const auto &e : sigcommSurvey()) {
+        EXPECT_LE(e.servers, 100u);
+        EXPECT_GE(e.year, 2008);
+        EXPECT_LE(e.year, 2013);
+    }
+}
+
+TEST(MedianOf, EvenAndOddCounts)
+{
+    EXPECT_DOUBLE_EQ(medianOf({3, 1, 2}), 2.0);
+    EXPECT_DOUBLE_EQ(medianOf({4, 1, 2, 3}), 2.5);
+    EXPECT_DOUBLE_EQ(medianOf({}), 0.0);
+    EXPECT_DOUBLE_EQ(medianOf({7}), 7.0);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"servers", "goodput"});
+    t.addRow({"1", "941.0"});
+    t.addRow({"24", "17.4"});
+    std::string s = t.str();
+    EXPECT_NE(s.find("servers"), std::string::npos);
+    EXPECT_NE(s.find("941.0"), std::string::npos);
+    // Every rendered line has the same width.
+    size_t width = s.find('\n');
+    size_t pos = 0;
+    while (pos < s.size()) {
+        size_t next = s.find('\n', pos);
+        EXPECT_EQ(next - pos, width);
+        pos = next + 1;
+    }
+}
+
+TEST(Table, CellFormats)
+{
+    EXPECT_EQ(Table::cell("%.1f", 3.25), "3.2");
+    EXPECT_EQ(Table::cell("%d/%d", 3, 4), "3/4");
+}
+
+TEST(Table, RowArityMismatchPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only one"}), "row has");
+}
+
+TEST(LatencySummary, ContainsPercentiles)
+{
+    SampleSet s;
+    for (int i = 1; i <= 1000; ++i) {
+        s.record(i);
+    }
+    std::string line = latencySummary(s);
+    EXPECT_NE(line.find("p50="), std::string::npos);
+    EXPECT_NE(line.find("p99="), std::string::npos);
+    EXPECT_NE(line.find("n=1000"), std::string::npos);
+}
+
+} // namespace
+} // namespace analysis
+} // namespace diablo

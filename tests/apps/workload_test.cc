@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "apps/workload.hh"
+
+namespace diablo {
+namespace apps {
+namespace {
+
+TEST(EtcWorkload, KeySizesInRange)
+{
+    EtcWorkloadParams p;
+    EtcWorkload w(p, Rng(1));
+    for (int i = 0; i < 5000; ++i) {
+        GeneratedRequest g = w.next(0);
+        ASSERT_GE(g.key_bytes, p.key_min);
+        ASSERT_LE(g.key_bytes, p.key_max);
+    }
+}
+
+TEST(EtcWorkload, ValueSizesInRangeAndHeavyTailed)
+{
+    EtcWorkloadParams p;
+    EtcWorkload w(p, Rng(2));
+    uint64_t small = 0, large = 0;
+    for (int i = 0; i < 20000; ++i) {
+        GeneratedRequest g = w.next(0);
+        ASSERT_GE(g.value_bytes, p.value_min);
+        ASSERT_LE(g.value_bytes, p.value_max);
+        if (g.value_bytes <= 64) {
+            ++small;
+        }
+        if (g.value_bytes >= 2000) {
+            ++large;
+        }
+    }
+    // The ETC mix has many small values AND a heavy tail.
+    EXPECT_GT(small, 2000u);
+    EXPECT_GT(large, 100u);
+}
+
+TEST(EtcWorkload, GetRatioApproximately30To1)
+{
+    EtcWorkloadParams p;
+    EtcWorkload w(p, Rng(3));
+    int gets = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        gets += w.next(0).is_get;
+    }
+    EXPECT_NEAR(static_cast<double>(gets) / n, 30.0 / 31.0, 0.01);
+}
+
+TEST(EtcWorkload, ValueSizeDeterministicPerServerKey)
+{
+    EtcWorkloadParams p;
+    EtcWorkload w(p, Rng(4));
+    EXPECT_EQ(w.valueSizeFor(5, 123), w.valueSizeFor(5, 123));
+    // Different keys/servers should usually differ.
+    int diffs = 0;
+    for (uint64_t k = 0; k < 100; ++k) {
+        if (w.valueSizeFor(1, k) != w.valueSizeFor(2, k)) {
+            ++diffs;
+        }
+    }
+    EXPECT_GT(diffs, 50);
+}
+
+TEST(EtcWorkload, PopularKeysDominate)
+{
+    EtcWorkloadParams p;
+    p.keys_per_server = 1000;
+    EtcWorkload w(p, Rng(5));
+    std::vector<int> counts(1000, 0);
+    for (int i = 0; i < 50000; ++i) {
+        counts[w.next(0).key_id]++;
+    }
+    // Zipf 0.99: rank 0 should far exceed rank 500.
+    EXPECT_GT(counts[0], 20 * std::max(counts[500], 1));
+}
+
+TEST(EtcWorkload, StreamsWithSameSeedMatch)
+{
+    EtcWorkloadParams p;
+    EtcWorkload a(p, Rng(9)), b(p, Rng(9));
+    for (int i = 0; i < 100; ++i) {
+        GeneratedRequest ga = a.next(3), gb = b.next(3);
+        ASSERT_EQ(ga.key_id, gb.key_id);
+        ASSERT_EQ(ga.key_bytes, gb.key_bytes);
+        ASSERT_EQ(ga.value_bytes, gb.value_bytes);
+        ASSERT_EQ(ga.is_get, gb.is_get);
+    }
+}
+
+} // namespace
+} // namespace apps
+} // namespace diablo

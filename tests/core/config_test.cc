@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "core/config.hh"
+
+namespace diablo {
+namespace {
+
+TEST(Config, SetGetTyped)
+{
+    Config c;
+    c.set("a.b", int64_t{42});
+    c.set("x", 2.5);
+    c.set("flag", true);
+    c.set("name", "rack0");
+    EXPECT_EQ(c.getInt("a.b", 0), 42);
+    EXPECT_DOUBLE_EQ(c.getDouble("x", 0), 2.5);
+    EXPECT_TRUE(c.getBool("flag", false));
+    EXPECT_EQ(c.getString("name", ""), "rack0");
+}
+
+TEST(Config, DefaultsWhenAbsent)
+{
+    Config c;
+    EXPECT_EQ(c.getInt("missing", -7), -7);
+    EXPECT_DOUBLE_EQ(c.getDouble("missing", 1.5), 1.5);
+    EXPECT_FALSE(c.getBool("missing", false));
+    EXPECT_EQ(c.getString("missing", "dft"), "dft");
+    EXPECT_FALSE(c.has("missing"));
+}
+
+TEST(Config, IntAcceptsHex)
+{
+    Config c;
+    c.set("addr", "0x1000");
+    EXPECT_EQ(c.getInt("addr", 0), 0x1000);
+    EXPECT_EQ(c.getUint("addr", 0), 0x1000u);
+}
+
+TEST(Config, BoolSpellings)
+{
+    Config c;
+    for (const char *t : {"true", "1", "yes", "on"}) {
+        c.set("k", t);
+        EXPECT_TRUE(c.getBool("k", false)) << t;
+    }
+    for (const char *f : {"false", "0", "no", "off"}) {
+        c.set("k", f);
+        EXPECT_FALSE(c.getBool("k", true)) << f;
+    }
+}
+
+TEST(Config, ParseAssignment)
+{
+    Config c;
+    EXPECT_TRUE(c.parseAssignment("switch.rack.buffer_bytes=4096"));
+    EXPECT_EQ(c.getInt("switch.rack.buffer_bytes", 0), 4096);
+    EXPECT_FALSE(c.parseAssignment("notanassignment"));
+    EXPECT_FALSE(c.parseAssignment("=value"));
+    EXPECT_TRUE(c.parseAssignment("empty="));
+    EXPECT_EQ(c.getString("empty", "x"), "");
+}
+
+TEST(Config, MergeOverrides)
+{
+    Config base, over;
+    base.set("a", 1);
+    base.set("b", 2);
+    over.set("b", 20);
+    over.set("c", 30);
+    base.merge(over);
+    EXPECT_EQ(base.getInt("a", 0), 1);
+    EXPECT_EQ(base.getInt("b", 0), 20);
+    EXPECT_EQ(base.getInt("c", 0), 30);
+}
+
+TEST(Config, KeysSorted)
+{
+    Config c;
+    c.set("zz", 1);
+    c.set("aa", 2);
+    c.set("mm", 3);
+    auto ks = c.keys();
+    ASSERT_EQ(ks.size(), 3u);
+    EXPECT_EQ(ks[0], "aa");
+    EXPECT_EQ(ks[1], "mm");
+    EXPECT_EQ(ks[2], "zz");
+}
+
+} // namespace
+} // namespace diablo

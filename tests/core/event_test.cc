@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/simulator.hh"
+
+namespace diablo {
+namespace {
+
+using namespace diablo::time_literals;
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(30_ns, [&] { order.push_back(3); });
+    sim.schedule(10_ns, [&] { order.push_back(1); });
+    sim.schedule(20_ns, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 30_ns);
+}
+
+TEST(EventQueue, FifoAtEqualTime)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        sim.schedule(5_ns, [&order, i] { order.push_back(i); });
+    }
+    sim.run();
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+    }
+}
+
+TEST(EventQueue, PriorityBreaksTies)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(5_ns, [&] { order.push_back(2); }, event_prio::kDefault);
+    sim.schedule(5_ns, [&] { order.push_back(3); }, event_prio::kWakeup);
+    sim.schedule(5_ns, [&] { order.push_back(1); }, event_prio::kTimer);
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, Cancellation)
+{
+    Simulator sim;
+    int fired = 0;
+    EventId id = sim.schedule(10_ns, [&] { ++fired; });
+    sim.schedule(5_ns, [&] { sim.cancel(id); });
+    sim.run();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, CancelAfterFireIsSafe)
+{
+    Simulator sim;
+    int fired = 0;
+    EventId id = sim.schedule(1_ns, [&] { ++fired; });
+    sim.run();
+    sim.cancel(id); // no effect, no crash
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelInvalidIdIsSafe)
+{
+    Simulator sim;
+    sim.cancel(EventId{}); // default id is invalid
+}
+
+TEST(Simulator, EventsCanScheduleEvents)
+{
+    Simulator sim;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 100) {
+            sim.schedule(1_ns, chain);
+        }
+    };
+    sim.schedule(1_ns, chain);
+    sim.run();
+    EXPECT_EQ(depth, 100);
+    EXPECT_EQ(sim.now(), 100_ns);
+}
+
+TEST(Simulator, RunUntilAdvancesClockToBound)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(10_ns, [&] { ++fired; });
+    sim.schedule(100_ns, [&] { ++fired; });
+    sim.runUntil(50_ns);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), 50_ns);
+    sim.runUntil(100_ns);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, StopHaltsRun)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(1_ns, [&] { ++fired; sim.stop(); });
+    sim.schedule(2_ns, [&] { ++fired; });
+    sim.run();
+    EXPECT_EQ(fired, 1);
+    // A second run resumes with the remaining events.
+    sim.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, ScheduleAtAbsolute)
+{
+    Simulator sim;
+    SimTime seen;
+    sim.scheduleAt(42_ns, [&] { seen = sim.now(); });
+    sim.run();
+    EXPECT_EQ(seen, 42_ns);
+}
+
+TEST(Simulator, NextEventTimeAndStep)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(5_ns, [&] { ++fired; });
+    sim.schedule(9_ns, [&] { ++fired; });
+    EXPECT_EQ(sim.nextEventTime(), 5_ns);
+    sim.executeNext();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.nextEventTime(), 9_ns);
+    sim.executeNext();
+    EXPECT_TRUE(sim.idle());
+    EXPECT_EQ(sim.nextEventTime(), SimTime::max());
+}
+
+TEST(Simulator, ExecutedEventCount)
+{
+    Simulator sim;
+    for (int i = 0; i < 7; ++i) {
+        sim.schedule(SimTime::ns(i + 1), [] {});
+    }
+    sim.run();
+    EXPECT_EQ(sim.executedEvents(), 7u);
+    EXPECT_GE(sim.scheduledEvents(), 7u);
+}
+
+TEST(Simulator, CancelledEventsDontBlockNextTime)
+{
+    Simulator sim;
+    EventId a = sim.schedule(1_ns, [] {});
+    sim.schedule(5_ns, [] {});
+    sim.cancel(a);
+    EXPECT_EQ(sim.nextEventTime(), 5_ns);
+}
+
+} // namespace
+} // namespace diablo

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stats.hh"
+
+namespace diablo {
+namespace {
+
+TEST(Counter, IncAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(RunningStats, Moments)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+        s.record(x);
+    }
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(SampleSet, Percentiles)
+{
+    SampleSet s;
+    for (int i = 1; i <= 100; ++i) {
+        s.record(i);
+    }
+    EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+    EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+    EXPECT_NEAR(s.percentile(99), 99.01, 0.1);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 100.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SampleSet, PercentileSingleSample)
+{
+    SampleSet s;
+    s.record(42.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 42.0);
+    EXPECT_DOUBLE_EQ(s.percentile(99.9), 42.0);
+}
+
+TEST(SampleSet, PercentileEmpty)
+{
+    SampleSet s;
+    EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+}
+
+TEST(SampleSet, CdfMonotone)
+{
+    SampleSet s;
+    for (double x : {5.0, 1.0, 3.0, 3.0, 2.0}) {
+        s.record(x);
+    }
+    auto cdf = s.cdf();
+    ASSERT_EQ(cdf.size(), 4u); // duplicate 3.0 collapsed
+    double prev_x = -1, prev_c = 0;
+    for (const auto &p : cdf) {
+        EXPECT_GT(p.x, prev_x);
+        EXPECT_GT(p.cum, prev_c);
+        prev_x = p.x;
+        prev_c = p.cum;
+    }
+    EXPECT_DOUBLE_EQ(cdf.back().cum, 1.0);
+    // 3.0 covers samples 1,2,3,3 -> cum 0.8.
+    EXPECT_DOUBLE_EQ(cdf[2].x, 3.0);
+    EXPECT_DOUBLE_EQ(cdf[2].cum, 0.8);
+}
+
+TEST(SampleSet, TailCdf)
+{
+    SampleSet s;
+    for (int i = 1; i <= 1000; ++i) {
+        s.record(i);
+    }
+    auto tail = s.tailCdf(95.0);
+    ASSERT_FALSE(tail.empty());
+    EXPECT_GE(tail.front().cum, 0.95);
+    EXPECT_DOUBLE_EQ(tail.back().cum, 1.0);
+    EXPECT_GE(tail.front().x, 950.0);
+}
+
+TEST(SampleSet, LogPmfMassSumsToOne)
+{
+    SampleSet s;
+    for (double x : {10.0, 20.0, 100.0, 5000.0, 30.0, 15.0}) {
+        s.record(x);
+    }
+    auto pmf = s.logPmf(4);
+    double total = 0;
+    for (const auto &b : pmf) {
+        EXPECT_LT(b.lo, b.hi);
+        total += b.mass;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(SampleSet, Merge)
+{
+    SampleSet a, b;
+    a.record(1.0);
+    b.record(3.0);
+    b.record(5.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+}
+
+TEST(LogHistogram, PercentileApproximation)
+{
+    LogHistogram h(1.0, 1e6, 8);
+    // 1000 samples at 100, 10 at 10000.
+    for (int i = 0; i < 1000; ++i) {
+        h.record(100.0);
+    }
+    for (int i = 0; i < 10; ++i) {
+        h.record(10000.0);
+    }
+    EXPECT_EQ(h.count(), 1010u);
+    double p50 = h.percentile(50);
+    EXPECT_GT(p50, 50.0);
+    EXPECT_LT(p50, 200.0);
+    double p999 = h.percentile(99.95);
+    EXPECT_GT(p999, 5000.0);
+    EXPECT_LT(p999, 20000.0);
+}
+
+} // namespace
+} // namespace diablo

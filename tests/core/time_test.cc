@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "core/time.hh"
+
+namespace diablo {
+namespace {
+
+using namespace diablo::time_literals;
+
+TEST(SimTime, UnitConstructors)
+{
+    EXPECT_EQ(SimTime::ns(1).toPs(), 1000);
+    EXPECT_EQ(SimTime::us(1).toPs(), 1000000);
+    EXPECT_EQ(SimTime::ms(1).toPs(), 1000000000LL);
+    EXPECT_EQ(SimTime::sec(1).toPs(), 1000000000000LL);
+}
+
+TEST(SimTime, Literals)
+{
+    EXPECT_EQ(5_ns, SimTime::ns(5));
+    EXPECT_EQ(3_us, SimTime::us(3));
+    EXPECT_EQ(2_ms, SimTime::ms(2));
+    EXPECT_EQ(1_sec, SimTime::sec(1));
+    EXPECT_EQ(7_ps, SimTime::ps(7));
+}
+
+TEST(SimTime, Arithmetic)
+{
+    SimTime t = 1_us + 500_ns;
+    EXPECT_EQ(t.toNs(), 1500);
+    t -= 500_ns;
+    EXPECT_EQ(t, 1_us);
+    EXPECT_EQ((2 * t).toNs(), 2000);
+    EXPECT_EQ((t * 3).toNs(), 3000);
+    EXPECT_EQ((t / 4).toNs(), 250);
+    EXPECT_EQ(t / 250_ns, 4);
+    EXPECT_EQ((1500_ns % 1_us), 500_ns);
+}
+
+TEST(SimTime, Comparisons)
+{
+    EXPECT_LT(1_ns, 1_us);
+    EXPECT_GT(1_ms, 999_us);
+    EXPECT_LE(1_ms, 1000_us);
+    EXPECT_EQ(1_sec, 1000_ms);
+}
+
+TEST(SimTime, FloatingConversions)
+{
+    EXPECT_DOUBLE_EQ(SimTime::us(250).asSeconds(), 250e-6);
+    EXPECT_DOUBLE_EQ(SimTime::ns(1500).asMicros(), 1.5);
+    EXPECT_EQ(SimTime::seconds(1.5e-6), SimTime::us(1) + SimTime::ns(500));
+    EXPECT_EQ(SimTime::microseconds(2.5), SimTime::ns(2500));
+    EXPECT_EQ(SimTime::nanoseconds(0.25), SimTime::ps(250));
+}
+
+TEST(SimTime, Scaled)
+{
+    EXPECT_EQ((1_us).scaled(2.5), SimTime::ns(2500));
+    EXPECT_EQ((100_ns).scaled(0.1), 10_ns);
+}
+
+TEST(SimTime, StrRendering)
+{
+    EXPECT_EQ((0_ns).str(), "0s");
+    EXPECT_EQ((5_ns).str(), "5ns");
+    EXPECT_EQ((1500_ns).str(), "1500ns");
+    EXPECT_EQ((2_us).str(), "2us");
+    EXPECT_EQ((3_ms).str(), "3ms");
+    EXPECT_EQ((4_sec).str(), "4s");
+    EXPECT_EQ((1_ps).str(), "1ps");
+}
+
+TEST(SimTime, MaxIsSentinel)
+{
+    EXPECT_GT(SimTime::max(), 1000000_sec);
+}
+
+} // namespace
+} // namespace diablo

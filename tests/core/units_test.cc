@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "core/units.hh"
+
+namespace diablo {
+namespace {
+
+TEST(Bandwidth, Constructors)
+{
+    EXPECT_DOUBLE_EQ(Bandwidth::gbps(1).bitsPerSec(), 1e9);
+    EXPECT_DOUBLE_EQ(Bandwidth::mbps(100).bitsPerSec(), 1e8);
+    EXPECT_DOUBLE_EQ(Bandwidth::gbps(10).asGbps(), 10.0);
+    EXPECT_DOUBLE_EQ(Bandwidth::gbps(2.5).bytesPerSec(), 2.5e9 / 8);
+}
+
+TEST(Bandwidth, TransferTime)
+{
+    // 1500 bytes at 1 Gbps = 12 us.
+    EXPECT_EQ(Bandwidth::gbps(1).transferTime(1500), SimTime::us(12));
+    // 64 bytes at 10 Gbps = 51.2 ns.
+    EXPECT_EQ(Bandwidth::gbps(10).transferTime(64),
+              SimTime::nanoseconds(51.2));
+}
+
+TEST(Bandwidth, PaperScaleSanity)
+{
+    // The paper: "transmitting a 64-byte packet on a 10 Gbps link takes
+    // only ~50 ns".  With physical-layer overhead a minimum frame is
+    // 84 bytes on the wire.
+    SimTime t = Bandwidth::gbps(10).transferTime(eth::wireBytes(46));
+    EXPECT_GE(t, SimTime::ns(50));
+    EXPECT_LE(t, SimTime::ns(70));
+}
+
+TEST(Ethernet, WireBytes)
+{
+    // Minimum frame: 46B payload + 14 + 4 + 8 + 12 = 84 wire bytes.
+    EXPECT_EQ(eth::wireBytes(0), 84u);
+    EXPECT_EQ(eth::wireBytes(46), 84u);
+    EXPECT_EQ(eth::wireBytes(47), 85u);
+    // Full MTU frame: 1500 + 38 = 1538.
+    EXPECT_EQ(eth::wireBytes(1500), 1538u);
+}
+
+TEST(Bandwidth, Scaling)
+{
+    Bandwidth b = Bandwidth::gbps(1) * 10.0;
+    EXPECT_DOUBLE_EQ(b.asGbps(), 10.0);
+    EXPECT_DOUBLE_EQ((b / 4.0).asGbps(), 2.5);
+}
+
+} // namespace
+} // namespace diablo

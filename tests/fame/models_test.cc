@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "fame/cost_model.hh"
+#include "fame/perf_model.hh"
+
+namespace diablo {
+namespace fame {
+namespace {
+
+TEST(CostModel, PrototypeCostsAbout140k)
+{
+    // "Each BEE3 cost $15K, and the total cost of a 9-board system was
+    // about $140K."
+    CostModel m;
+    DiabloCostParams p = DiabloCostParams::bee3Prototype();
+    // 2,976-node prototype: 6 rack boards + 3 switch boards = 9 boards.
+    EXPECT_EQ(m.boardsNeeded(2976, p), 6u); // rack boards alone
+    double total = 9 * p.board_cost_usd + p.infrastructure_usd;
+    EXPECT_NEAR(total, 140000, 1000);
+}
+
+TEST(CostModel, Projected32kNodeSystemCosts150k)
+{
+    // "a 32,000-node DIABLO system using just 32 FPGAs and an overall
+    // cost of $150K including DRAM".
+    CostModel m;
+    DiabloCostParams p = DiabloCostParams::board2015();
+    EXPECT_EQ(m.boardsNeeded(32000, p), 32u);
+    EXPECT_NEAR(m.diabloCapexUsd(32000, p), 150000, 1000);
+}
+
+TEST(CostModel, RealArrayCostsMillions)
+{
+    // "An equivalent real WSC array would cost around $36M in CAPEX and
+    // $800K in OPEX/month" — for the 11,904-server scaled system.
+    CostModel m;
+    WscCostParams w;
+    EXPECT_NEAR(m.wscCapexUsd(11904, w), 36.0e6, 0.1e6);
+    EXPECT_NEAR(m.wscOpexPerMonthUsd(11904, w), 800e3, 5e3);
+}
+
+TEST(CostModel, DiabloIsOrdersOfMagnitudeCheaper)
+{
+    CostModel m;
+    const uint32_t nodes = 11904;
+    double diablo = m.diabloCapexUsd(nodes, DiabloCostParams::board2015());
+    double wsc = m.wscCapexUsd(nodes, WscCostParams{});
+    EXPECT_GT(wsc / diablo, 100.0);
+}
+
+TEST(PerfModel, FiftyMinutesPerTargetSecondAt4GHz)
+{
+    // §5: "When simulating 4 GHz servers ... around 50 minutes of
+    // simulation wall-clock time are required for one second of target
+    // time."
+    PerfModel m(HostPlatform::bee3());
+    double slow = m.slowdown(4.0);
+    double minutes =
+        m.wallClockFor(SimTime::sec(1), 4.0).asSeconds() / 60.0;
+    EXPECT_NEAR(minutes, 50.0, 5.0);
+    EXPECT_NEAR(slow, 3000, 300);
+}
+
+TEST(PerfModel, SlowdownBandForSlowerTargets)
+{
+    // Abstract: "overall simulation slowdown of between 250-1000x" for
+    // the lower-clocked targets RAMP Gold-class systems model.
+    PerfModel m(HostPlatform::bee3());
+    EXPECT_GT(m.slowdown(0.4), 250.0);
+    EXPECT_LT(m.slowdown(1.3), 1000.0);
+}
+
+TEST(PerfModel, SlowdownScalesWithTargetClock)
+{
+    PerfModel m(HostPlatform::bee3());
+    EXPECT_DOUBLE_EQ(m.slowdown(4.0), 2.0 * m.slowdown(2.0));
+}
+
+TEST(PerfModel, SoftwareSimulatorTakesWeeks)
+{
+    // §5: "software simulation would take almost two weeks" for the
+    // ~10 seconds of whole-array target time DIABLO simulates in hours.
+    // A fast functional-plus-timing software simulator retires ~30 host
+    // instructions per simulated target cycle; a 3,000-node array
+    // serialized onto one host is then 3,000 x 40 = 120,000x slowdown.
+    double sw = PerfModel::softwareSlowdown(4.0, 3.0, 30) * 3000;
+    double days_for_10s = sw * 10 / 86400.0;
+    EXPECT_GT(days_for_10s, 10.0); // ~two weeks
+    EXPECT_LT(days_for_10s, 25.0);
+
+    // And DIABLO does the same 10 target seconds in hours.
+    PerfModel m(HostPlatform::bee3());
+    double hours = m.wallClockFor(SimTime::sec(10), 4.0).asSeconds() /
+                   3600.0;
+    EXPECT_GT(hours, 2.0);
+    EXPECT_LT(hours, 12.0);
+}
+
+} // namespace
+} // namespace fame
+} // namespace diablo

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+
+namespace diablo {
+namespace isa {
+namespace {
+
+void
+runProgram(const std::string &src, CpuState &state, size_t mem_words = 256)
+{
+    Program p = assemble(src);
+    TargetMemory mem(mem_words);
+    runToHalt(state, p, mem);
+}
+
+TEST(Interpreter, AluBasics)
+{
+    CpuState s;
+    runProgram(R"(
+        addi r1, r0, 20
+        addi r2, r0, 22
+        add  r3, r1, r2
+        sub  r4, r3, r1
+        mul  r5, r1, r2
+        halt
+    )", s);
+    EXPECT_EQ(s.regs[3], 42u);
+    EXPECT_EQ(s.regs[4], 22u);
+    EXPECT_EQ(s.regs[5], 440u);
+}
+
+TEST(Interpreter, R0IsAlwaysZero)
+{
+    CpuState s;
+    runProgram(R"(
+        addi r0, r0, 99
+        add  r1, r0, r0
+        halt
+    )", s);
+    EXPECT_EQ(s.reg(0), 0u);
+    EXPECT_EQ(s.regs[1], 0u);
+}
+
+TEST(Interpreter, LogicAndShifts)
+{
+    CpuState s;
+    runProgram(R"(
+        addi r1, r0, 0xF0
+        addi r2, r0, 0x0F
+        or   r3, r1, r2
+        and  r4, r1, r2
+        xor  r5, r1, r2
+        slli r6, r2, 4
+        srli r7, r1, 4
+        halt
+    )", s);
+    EXPECT_EQ(s.regs[3], 0xFFu);
+    EXPECT_EQ(s.regs[4], 0u);
+    EXPECT_EQ(s.regs[5], 0xFFu);
+    EXPECT_EQ(s.regs[6], 0xF0u);
+    EXPECT_EQ(s.regs[7], 0x0Fu);
+}
+
+TEST(Interpreter, SraSignExtends)
+{
+    CpuState s;
+    runProgram(R"(
+        addi r1, r0, -16
+        addi r2, r0, 2
+        sra  r3, r1, r2
+        halt
+    )", s);
+    EXPECT_EQ(static_cast<int32_t>(s.regs[3]), -4);
+}
+
+TEST(Interpreter, LuiBuildsHighBits)
+{
+    CpuState s;
+    runProgram(R"(
+        lui  r1, 0x1234
+        ori  r1, r1, 0x5678
+        halt
+    )", s);
+    EXPECT_EQ(s.regs[1], 0x12345678u);
+}
+
+TEST(Interpreter, LoadStore)
+{
+    CpuState s;
+    runProgram(R"(
+        addi r1, r0, 64
+        addi r2, r0, 777
+        st   r2, 4(r1)
+        ld   r3, 4(r1)
+        halt
+    )", s);
+    EXPECT_EQ(s.regs[3], 777u);
+}
+
+TEST(Interpreter, LoopComputesSum)
+{
+    // sum 1..10 = 55
+    CpuState s;
+    runProgram(R"(
+        addi r1, r0, 0    # sum
+        addi r2, r0, 1    # i
+        addi r3, r0, 11   # bound
+    loop:
+        add  r1, r1, r2
+        addi r2, r2, 1
+        blt  r2, r3, loop
+        add  r10, r1, r0
+        halt
+    )", s);
+    EXPECT_EQ(s.regs[10], 55u);
+}
+
+TEST(Interpreter, CallAndReturn)
+{
+    CpuState s;
+    runProgram(R"(
+        addi r2, r0, 5
+        jal  r31, double
+        add  r10, r3, r0
+        halt
+    double:
+        add  r3, r2, r2
+        jr   r31
+    )", s);
+    EXPECT_EQ(s.regs[10], 10u);
+}
+
+TEST(Interpreter, FibonacciViaMemory)
+{
+    // Iterative fib(12) = 144 stored/loaded through memory.
+    CpuState s;
+    runProgram(R"(
+        addi r1, r0, 0     # fib(0)
+        addi r2, r0, 1     # fib(1)
+        st   r1, 0(r0)
+        st   r2, 4(r0)
+        addi r5, r0, 2     # i
+        addi r6, r0, 13
+    loop:
+        slli r7, r5, 2     # addr = i*4
+        ld   r8, -8(r7)
+        ld   r9, -4(r7)
+        add  r10, r8, r9
+        st   r10, 0(r7)
+        addi r5, r5, 1
+        blt  r5, r6, loop
+        addi r7, r0, 48    # fib(12) at 12*4
+        ld   r11, 0(r7)
+        halt
+    )", s);
+    EXPECT_EQ(s.regs[11], 144u);
+}
+
+TEST(Interpreter, EcallConsoleAndExit)
+{
+    CpuState s;
+    runProgram(R"(
+        addi r1, r0, 1     # putchar
+        addi r2, r0, 72    # 'H'
+        ecall
+        addi r2, r0, 105   # 'i'
+        ecall
+        addi r1, r0, 2     # putint
+        addi r2, r0, 42
+        ecall
+        addi r1, r0, 10    # exit
+        addi r2, r0, 3
+        ecall
+    )", s);
+    EXPECT_EQ(s.console, "Hi42");
+    EXPECT_TRUE(s.halted);
+    EXPECT_EQ(s.exit_code, 3);
+}
+
+TEST(Interpreter, InstretCounts)
+{
+    CpuState s;
+    runProgram(R"(
+        addi r1, r0, 1
+        addi r2, r0, 2
+        halt
+    )", s);
+    EXPECT_EQ(s.instret, 3u);
+}
+
+TEST(Assembler, RejectsUnknownMnemonic)
+{
+    EXPECT_DEATH({ assemble("bogus r1, r2, r3\n"); }, "unknown mnemonic");
+}
+
+TEST(Assembler, RejectsUndefinedLabel)
+{
+    EXPECT_DEATH({ assemble("beq r1, r2, nowhere\n"); },
+                 "undefined label");
+}
+
+TEST(Assembler, RejectsBadRegister)
+{
+    EXPECT_DEATH({ assemble("add r1, r2, r99\n"); }, "bad register");
+}
+
+TEST(Interpreter, PanicsOnOutOfBoundsMemory)
+{
+    CpuState s;
+    Program p = assemble(R"(
+        lui r1, 0x7FFF
+        ld  r2, 0(r1)
+        halt
+    )");
+    TargetMemory mem(64);
+    EXPECT_DEATH(runToHalt(s, p, mem), "beyond memory");
+}
+
+} // namespace
+} // namespace isa
+} // namespace diablo

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/pipeline.hh"
+
+namespace diablo {
+namespace isa {
+namespace {
+
+const char *kSumLoop = R"(
+    addi r1, r0, 0
+    addi r2, r0, 1
+    addi r3, r0, 101
+loop:
+    add  r1, r1, r2
+    addi r2, r2, 1
+    blt  r2, r3, loop
+    halt
+)";
+
+TEST(HostPipeline, SingleThreadMatchesFunctionalModel)
+{
+    TimingModel tm;
+    HostPipeline pipe(1, 64, tm, PipelineParams{0});
+    pipe.load(0, assemble(kSumLoop));
+    pipe.runToCompletion();
+
+    CpuState ref;
+    Program p = assemble(kSumLoop);
+    TargetMemory mem(64);
+    runToHalt(ref, p, mem);
+
+    EXPECT_EQ(pipe.state(0).regs[1], ref.regs[1]);
+    EXPECT_EQ(pipe.state(0).instret, ref.instret);
+    EXPECT_EQ(pipe.state(0).regs[1], 5050u);
+}
+
+TEST(HostPipeline, FixedCpiTargetCycles)
+{
+    // All-ALU program with CPI=1: target cycles == instructions.
+    TimingModel tm;
+    HostPipeline pipe(1, 64, tm, PipelineParams{0});
+    pipe.load(0, assemble(kSumLoop));
+    pipe.runToCompletion();
+    EXPECT_EQ(pipe.state(0).target_cycle, pipe.state(0).instret);
+}
+
+TEST(HostPipeline, TimingModelIsConfigurable)
+{
+    // Same program, 2-cycle ALU: target time doubles, function doesn't.
+    TimingModel fast, slow;
+    slow.alu_cycles = 2;
+    slow.branch_cycles = 2;
+    slow.mem_cycles = 2;
+    slow.trap_cycles = 2;
+
+    HostPipeline a(1, 64, fast, PipelineParams{0});
+    a.load(0, assemble(kSumLoop));
+    a.runToCompletion();
+    HostPipeline b(1, 64, slow, PipelineParams{0});
+    b.load(0, assemble(kSumLoop));
+    b.runToCompletion();
+
+    EXPECT_EQ(a.state(0).regs[1], b.state(0).regs[1]);
+    EXPECT_EQ(b.state(0).target_cycle, 2 * a.state(0).target_cycle);
+    // Host time is unchanged: timing is virtual, not host execution.
+    EXPECT_EQ(a.hostCycles(), b.hostCycles());
+}
+
+TEST(HostPipeline, MultithreadingSharesThePipeline)
+{
+    // T identical threads take ~T times the host cycles of one (without
+    // stalls there is no idle slot to reclaim).
+    TimingModel tm;
+    HostPipeline one(1, 64, tm, PipelineParams{0});
+    one.load(0, assemble(kSumLoop));
+    uint64_t host_one = one.runToCompletion();
+
+    const uint32_t T = 8;
+    HostPipeline many(T, 64, tm, PipelineParams{0});
+    for (uint32_t t = 0; t < T; ++t) {
+        many.load(t, assemble(kSumLoop));
+    }
+    uint64_t host_many = many.runToCompletion();
+
+    EXPECT_EQ(host_many, T * host_one);
+    for (uint32_t t = 0; t < T; ++t) {
+        EXPECT_EQ(many.state(t).regs[1], 5050u);
+    }
+}
+
+const char *kMemLoop = R"(
+    addi r2, r0, 0
+    addi r3, r0, 50
+loop:
+    st   r2, 0(r5)
+    ld   r4, 0(r5)
+    addi r2, r2, 1
+    blt  r2, r3, loop
+    halt
+)";
+
+TEST(HostPipeline, MultithreadingHidesMemoryStalls)
+{
+    // With host DRAM stalls, a single thread leaves the pipeline idle;
+    // many threads fill those slots (the paper's core FAME-7 argument).
+    TimingModel tm;
+    PipelineParams pp;
+    pp.host_mem_stall_cycles = 16;
+
+    HostPipeline one(1, 64, tm, pp);
+    one.load(0, assemble(kMemLoop));
+    one.runToCompletion();
+    const double util_one = one.utilization();
+
+    const uint32_t T = 32;
+    HostPipeline many(T, 64, tm, pp);
+    for (uint32_t t = 0; t < T; ++t) {
+        many.load(t, assemble(kMemLoop));
+    }
+    many.runToCompletion();
+    const double util_many = many.utilization();
+
+    EXPECT_LT(util_one, 0.35);
+    EXPECT_GT(util_many, 0.90);
+    // Aggregate throughput (instrs/host-cycle) improves accordingly.
+    EXPECT_GT(util_many / util_one, 3.0);
+}
+
+TEST(HostPipeline, HaltedThreadsFreeTheirSlots)
+{
+    // One short and one long program: once the short one halts, the
+    // long one gets every slot.
+    TimingModel tm;
+    HostPipeline pipe(2, 64, tm, PipelineParams{0});
+    pipe.load(0, assemble("addi r1, r0, 1\nhalt\n"));
+    pipe.load(1, assemble(kSumLoop));
+    uint64_t host = pipe.runToCompletion();
+
+    CpuState ref;
+    Program p = assemble(kSumLoop);
+    TargetMemory mem(64);
+    runToHalt(ref, p, mem);
+    // 2 cycles of the short program interleaved, rest dedicated.
+    EXPECT_LE(host, ref.instret + 2 * 2 + 2);
+}
+
+TEST(HostPipeline, RunInChunksMatchesRunToCompletion)
+{
+    TimingModel tm;
+    HostPipeline a(4, 64, tm);
+    HostPipeline b(4, 64, tm);
+    for (uint32_t t = 0; t < 4; ++t) {
+        a.load(t, assemble(kMemLoop));
+        b.load(t, assemble(kMemLoop));
+    }
+    a.runToCompletion();
+    while (!b.allHalted()) {
+        b.run(7); // odd chunk size on purpose
+    }
+    for (uint32_t t = 0; t < 4; ++t) {
+        EXPECT_EQ(a.state(t).regs[2], b.state(t).regs[2]);
+        EXPECT_EQ(a.state(t).instret, b.state(t).instret);
+    }
+}
+
+} // namespace
+} // namespace isa
+} // namespace diablo

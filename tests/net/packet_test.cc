@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "net/packet.hh"
+
+namespace diablo {
+namespace net {
+namespace {
+
+TEST(SourceRoute, HopSequence)
+{
+    SourceRoute r({3, 1, 7});
+    EXPECT_EQ(r.hops(), 3u);
+    EXPECT_FALSE(r.exhausted());
+    EXPECT_EQ(r.hop(), 3);
+    r.advance();
+    EXPECT_EQ(r.hop(), 1);
+    r.advance();
+    EXPECT_EQ(r.hop(), 7);
+    r.advance();
+    EXPECT_TRUE(r.exhausted());
+}
+
+TEST(SourceRoute, HeaderBytesOnePerHop)
+{
+    SourceRoute r({1, 2, 3, 4, 5});
+    EXPECT_EQ(r.headerBytes(), 5u);
+    EXPECT_EQ(SourceRoute().headerBytes(), 0u);
+}
+
+TEST(SourceRoute, Append)
+{
+    SourceRoute r;
+    r.append(9);
+    r.append(2);
+    EXPECT_EQ(r.hops(), 2u);
+    EXPECT_EQ(r.hop(), 9);
+}
+
+TEST(FlowKey, ReversedSwapsEndpoints)
+{
+    FlowKey k{10, 20, 1000, 11211, Proto::Tcp};
+    FlowKey rev = k.reversed();
+    EXPECT_EQ(rev.src, 20u);
+    EXPECT_EQ(rev.dst, 10u);
+    EXPECT_EQ(rev.sport, 11211);
+    EXPECT_EQ(rev.dport, 1000);
+    EXPECT_EQ(rev.proto, Proto::Tcp);
+    EXPECT_EQ(rev.reversed(), k);
+}
+
+TEST(FlowKey, HashDistinguishes)
+{
+    FlowKeyHash h;
+    FlowKey a{1, 2, 3, 4, Proto::Tcp};
+    FlowKey b{1, 2, 3, 4, Proto::Udp};
+    FlowKey c{1, 2, 4, 3, Proto::Tcp};
+    EXPECT_NE(h(a), h(b));
+    EXPECT_NE(h(a), h(c));
+    EXPECT_EQ(h(a), h(FlowKey{1, 2, 3, 4, Proto::Tcp}));
+}
+
+TEST(Packet, UniqueIds)
+{
+    auto a = makePacket();
+    auto b = makePacket();
+    EXPECT_NE(a->id, 0u);
+    EXPECT_NE(a->id, b->id);
+}
+
+TEST(Packet, ByteAccounting)
+{
+    auto p = makePacket();
+    p->flow.proto = Proto::Udp;
+    p->payload_bytes = 100;
+    // UDP: 100 + 8 + 20 = 128 L3 bytes.
+    EXPECT_EQ(p->l3Bytes(), 128u);
+    EXPECT_EQ(p->wireBytes(), 128u + 38u);
+
+    p->flow.proto = Proto::Tcp;
+    // TCP: 100 + 20 + 20 = 140 L3 bytes.
+    EXPECT_EQ(p->l3Bytes(), 140u);
+
+    p->route = SourceRoute({1, 2});
+    EXPECT_EQ(p->l3Bytes(), 142u);
+}
+
+TEST(Packet, MinimumFramePadding)
+{
+    auto p = makePacket();
+    p->flow.proto = Proto::Udp;
+    p->payload_bytes = 0;
+    // 28B L3 datagram pads to the 46B minimum payload -> 84 wire bytes.
+    EXPECT_EQ(p->wireBytes(), 84u);
+}
+
+TEST(Packet, TcpFlagTest)
+{
+    TcpFields t;
+    t.flags = tcp_flags::kSyn | tcp_flags::kAck;
+    EXPECT_TRUE(t.has(tcp_flags::kSyn));
+    EXPECT_TRUE(t.has(tcp_flags::kAck));
+    EXPECT_FALSE(t.has(tcp_flags::kFin));
+}
+
+} // namespace
+} // namespace net
+} // namespace diablo

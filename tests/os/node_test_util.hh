@@ -1,0 +1,65 @@
+#ifndef DIABLO_TESTS_OS_NODE_TEST_UTIL_HH_
+#define DIABLO_TESTS_OS_NODE_TEST_UTIL_HH_
+
+/**
+ * @file
+ * Two simulated servers wired NIC-to-NIC (no switch): the minimal
+ * full-stack harness for exercising syscalls, TCP/UDP, and the NIC.
+ */
+
+#include <memory>
+
+#include "core/simulator.hh"
+#include "net/link.hh"
+#include "nic/nic_model.hh"
+#include "os/kernel.hh"
+
+namespace diablo {
+namespace os {
+namespace test {
+
+/** One server: kernel + NIC + outbound link. */
+struct TestNode {
+    TestNode(Simulator &sim, net::NodeId id, const CpuParams &cpu,
+             const KernelProfile &prof, const nic::NicParams &nicp,
+             Bandwidth bw, SimTime prop)
+        : kernel(sim, id, cpu, prof,
+                 [](net::NodeId) { return net::SourceRoute{}; }),
+          nic(sim, "nic" + std::to_string(id), nicp),
+          tx_link(std::make_unique<net::Link>(
+              sim, "wire" + std::to_string(id), bw, prop))
+    {
+        nic.attachKernel(kernel);
+        nic.attachTxLink(*tx_link);
+    }
+
+    Kernel kernel;
+    nic::NicModel nic;
+    std::unique_ptr<net::Link> tx_link;
+};
+
+/** Two nodes with a full-duplex wire between them. */
+struct TwoNodeHarness {
+    explicit TwoNodeHarness(const CpuParams &cpu = {},
+                            const KernelProfile &prof =
+                                KernelProfile::linux2639(),
+                            const nic::NicParams &nicp = {},
+                            Bandwidth bw = Bandwidth::gbps(1),
+                            SimTime prop = SimTime::us(1))
+        : a(sim, 1, cpu, prof, nicp, bw, prop),
+          b(sim, 2, cpu, prof, nicp, bw, prop)
+    {
+        a.tx_link->connectTo(b.nic);
+        b.tx_link->connectTo(a.nic);
+    }
+
+    Simulator sim;
+    TestNode a;
+    TestNode b;
+};
+
+} // namespace test
+} // namespace os
+} // namespace diablo
+
+#endif // DIABLO_TESTS_OS_NODE_TEST_UTIL_HH_

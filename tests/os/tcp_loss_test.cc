@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "net/fault_injection.hh"
+#include "os/node_test_util.hh"
+
+namespace diablo {
+namespace os {
+namespace {
+
+using namespace diablo::time_literals;
+
+/** Two nodes with fault-injection sinks on both directions. */
+struct LossyHarness {
+    LossyHarness()
+        : a(sim, 1, {}, KernelProfile::linux2639(), {},
+            Bandwidth::gbps(1), SimTime::us(1)),
+          b(sim, 2, {}, KernelProfile::linux2639(), {},
+            Bandwidth::gbps(1), SimTime::us(1)),
+          to_b(b.nic), to_a(a.nic)
+    {
+        a.tx_link->connectTo(to_b);
+        b.tx_link->connectTo(to_a);
+    }
+
+    Simulator sim;
+    test::TestNode a;
+    test::TestNode b;
+    net::LossySink to_b; ///< a -> b direction
+    net::LossySink to_a; ///< b -> a direction
+};
+
+struct Result {
+    uint64_t rx_bytes = 0;
+    bool server_done = false;
+    bool client_done = false;
+    SimTime client_finished;
+    SimTime server_finished;
+};
+
+Task<>
+sinkServer(Kernel &k, Result &r)
+{
+    Thread &t = k.createThread("server");
+    long lfd = co_await k.sysSocket(t, net::Proto::Tcp);
+    co_await k.sysBind(t, static_cast<int>(lfd), 5001);
+    co_await k.sysListen(t, static_cast<int>(lfd), 8);
+    long fd = co_await k.sysAccept(t, static_cast<int>(lfd), true);
+    while (true) {
+        long n = co_await k.sysRecv(t, static_cast<int>(fd), 1 << 20,
+                                    nullptr);
+        if (n <= 0) {
+            break;
+        }
+        r.rx_bytes += static_cast<uint64_t>(n);
+    }
+    r.server_done = true;
+    r.server_finished = k.sim().now();
+}
+
+Task<>
+bulkClient(Kernel &k, uint64_t bytes, Result &r)
+{
+    Thread &t = k.createThread("client");
+    long fd = co_await k.sysSocket(t, net::Proto::Tcp);
+    long rc = co_await k.sysConnect(t, static_cast<int>(fd), 2, 5001);
+    EXPECT_EQ(rc, 0);
+    co_await k.sysSend(t, static_cast<int>(fd), bytes, nullptr);
+    co_await k.sysClose(t, static_cast<int>(fd));
+    r.client_done = true;
+    r.client_finished = k.sim().now();
+}
+
+/** Drop the first a->b TCP *data* segment whose seq is @p seq. */
+void
+dropDataSegmentOnce(net::LossySink &sink, uint64_t seq)
+{
+    auto seen = std::make_shared<bool>(false);
+    sink.dropIf([seen, seq](const net::Packet &p) {
+        if (*seen || p.payload_bytes == 0 || p.tcp.seq != seq) {
+            return false;
+        }
+        *seen = true;
+        return true;
+    });
+}
+
+TEST(TcpLoss, MidStreamLossRecoversByFastRetransmit)
+{
+    LossyHarness h;
+    Result r;
+    // 100 KB transfer; drop the segment at stream offset 10 x 1448.
+    dropDataSegmentOnce(h.to_b, 10 * 1448);
+    h.b.kernel.spawnProcess(sinkServer(h.b.kernel, r));
+    h.a.kernel.spawnProcess(bulkClient(h.a.kernel, 100000, r));
+    h.sim.run();
+
+    EXPECT_EQ(r.rx_bytes, 100000u);
+    EXPECT_EQ(h.to_b.dropped(), 1u);
+    EXPECT_EQ(h.a.kernel.stats().tcp_retransmits, 1u);
+    // Fast retransmit, not a 200 ms timeout.
+    EXPECT_EQ(h.a.kernel.stats().tcp_rtos, 0u);
+    EXPECT_LT(r.client_finished, 50_ms);
+}
+
+TEST(TcpLoss, TailLossNeedsTheRtoTimer)
+{
+    LossyHarness h;
+    Result r;
+    // 20 KB transfer = 14 segments; drop the last (seq 13 x 1448).
+    dropDataSegmentOnce(h.to_b, 13 * 1448);
+    h.b.kernel.spawnProcess(sinkServer(h.b.kernel, r));
+    h.a.kernel.spawnProcess(bulkClient(h.a.kernel, 20000, r));
+    h.sim.run();
+
+    EXPECT_EQ(r.rx_bytes, 20000u);
+    EXPECT_GE(h.a.kernel.stats().tcp_rtos, 1u);
+    // The receiver got the tail only after the 200 ms minimum RTO.
+    EXPECT_GT(r.server_finished, 200_ms);
+    EXPECT_LT(r.server_finished, 450_ms);
+}
+
+TEST(TcpLoss, SynLossCostsTheInitialRto)
+{
+    LossyHarness h;
+    Result r;
+    h.to_b.dropArrivals({0}); // the SYN is the first a->b packet
+    h.b.kernel.spawnProcess(sinkServer(h.b.kernel, r));
+    h.a.kernel.spawnProcess(bulkClient(h.a.kernel, 1000, r));
+    h.sim.run();
+
+    EXPECT_TRUE(r.client_done);
+    EXPECT_EQ(r.rx_bytes, 1000u);
+    // RFC 6298 initial RTO is 1 s (tick-quantized upward).
+    EXPECT_GT(r.server_finished, 1_sec);
+    EXPECT_LT(r.server_finished, 1300_ms);
+}
+
+TEST(TcpLoss, PureAckLossIsAbsorbedByCumulativeAcks)
+{
+    LossyHarness h;
+    Result r;
+    // Drop several early pure ACKs from the receiver.
+    auto count = std::make_shared<int>(0);
+    h.to_a.dropIf([count](const net::Packet &p) {
+        if (p.payload_bytes == 0 &&
+            p.tcp.has(net::tcp_flags::kAck) &&
+            !p.tcp.has(net::tcp_flags::kSyn) && *count < 3) {
+            ++*count;
+            return true;
+        }
+        return false;
+    });
+    h.b.kernel.spawnProcess(sinkServer(h.b.kernel, r));
+    h.a.kernel.spawnProcess(bulkClient(h.a.kernel, 200000, r));
+    h.sim.run();
+
+    EXPECT_EQ(r.rx_bytes, 200000u);
+    // Later cumulative ACKs cover the lost ones: no retransmission.
+    EXPECT_EQ(h.a.kernel.stats().tcp_retransmits, 0u);
+    EXPECT_LT(r.client_finished, 50_ms);
+}
+
+TEST(TcpLoss, RandomLossStillDeliversEverythingExactlyOnce)
+{
+    for (uint64_t seed : {11u, 22u, 33u}) {
+        LossyHarness h;
+        Result r;
+        h.to_b.dropRandomly(0.02, Rng(seed));
+        h.to_a.dropRandomly(0.02, Rng(seed + 1));
+        h.b.kernel.spawnProcess(sinkServer(h.b.kernel, r));
+        h.a.kernel.spawnProcess(bulkClient(h.a.kernel, 500000, r));
+        h.sim.run();
+
+        EXPECT_TRUE(r.server_done) << "seed " << seed;
+        EXPECT_EQ(r.rx_bytes, 500000u) << "seed " << seed;
+        EXPECT_GT(h.to_b.dropped() + h.to_a.dropped(), 0u);
+    }
+}
+
+TEST(TcpLoss, HeavyLossEventuallyCompletes)
+{
+    LossyHarness h;
+    Result r;
+    h.to_b.dropRandomly(0.2, Rng(7));
+    h.b.kernel.spawnProcess(sinkServer(h.b.kernel, r));
+    h.a.kernel.spawnProcess(bulkClient(h.a.kernel, 50000, r));
+    h.sim.run();
+
+    EXPECT_TRUE(r.server_done);
+    EXPECT_EQ(r.rx_bytes, 50000u);
+    EXPECT_GT(h.a.kernel.stats().tcp_retransmits, 0u);
+}
+
+TEST(TcpLoss, LossScheduleIsDeterministic)
+{
+    auto run = [] {
+        LossyHarness h;
+        Result r;
+        h.to_b.dropRandomly(0.05, Rng(99));
+        h.b.kernel.spawnProcess(sinkServer(h.b.kernel, r));
+        h.a.kernel.spawnProcess(bulkClient(h.a.kernel, 300000, r));
+        h.sim.run();
+        return std::tuple(r.client_finished.toPs(), h.to_b.dropped(),
+                          h.a.kernel.stats().tcp_retransmits);
+    };
+    EXPECT_EQ(run(), run());
+}
+
+} // namespace
+} // namespace os
+} // namespace diablo

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include "os/node_test_util.hh"
+
+namespace diablo {
+namespace os {
+namespace {
+
+using namespace diablo::time_literals;
+using test::TwoNodeHarness;
+
+struct XferResult {
+    bool server_done = false;
+    bool client_done = false;
+    uint64_t server_rx_total = 0;
+    int server_msgs = 0;
+    long connect_rc = 12345;
+    long accept_fd = -1;
+    SimTime elapsed;
+    long eof_rc = 12345;
+};
+
+/** Accepts one connection and drains it until EOF. */
+Task<>
+tcpSinkServer(Kernel &k, bool use_accept4, XferResult &r)
+{
+    Thread &t = k.createThread("server");
+    long lfd = co_await k.sysSocket(t, net::Proto::Tcp);
+    co_await k.sysBind(t, static_cast<int>(lfd), 5001);
+    co_await k.sysListen(t, static_cast<int>(lfd), 128);
+    r.accept_fd = co_await k.sysAccept(t, static_cast<int>(lfd),
+                                       use_accept4);
+    EXPECT_GT(r.accept_fd, 0);
+
+    while (true) {
+        std::vector<RecvedMessage> msgs;
+        long n = co_await k.sysRecv(t, static_cast<int>(r.accept_fd),
+                                    1 << 20, &msgs);
+        if (n <= 0) {
+            r.eof_rc = n;
+            break;
+        }
+        r.server_rx_total += static_cast<uint64_t>(n);
+        r.server_msgs += static_cast<int>(msgs.size());
+    }
+    r.server_done = true;
+}
+
+struct TestMsg : net::AppData {
+    explicit TestMsg(int id) : id(id) {}
+    int id;
+};
+
+/** Connects, sends @p messages of @p bytes each, closes. */
+Task<>
+tcpBulkClient(Kernel &k, net::NodeId dst, int messages, uint64_t bytes,
+              XferResult &r)
+{
+    Thread &t = k.createThread("client");
+    long fd = co_await k.sysSocket(t, net::Proto::Tcp);
+    SimTime start = k.sim().now();
+    r.connect_rc = co_await k.sysConnect(t, static_cast<int>(fd), dst,
+                                         5001);
+    if (r.connect_rc != 0) {
+        r.client_done = true;
+        co_return;
+    }
+    for (int i = 0; i < messages; ++i) {
+        long n = co_await k.sysSend(t, static_cast<int>(fd), bytes,
+                                    std::make_shared<TestMsg>(i));
+        EXPECT_EQ(n, static_cast<long>(bytes));
+    }
+    co_await k.sysClose(t, static_cast<int>(fd));
+    r.elapsed = k.sim().now() - start;
+    r.client_done = true;
+}
+
+TEST(TcpStack, ConnectSendReceiveEof)
+{
+    TwoNodeHarness h;
+    XferResult r;
+    h.b.kernel.spawnProcess(tcpSinkServer(h.b.kernel, true, r));
+    h.a.kernel.spawnProcess(tcpBulkClient(h.a.kernel, 2, 3, 10000, r));
+    h.sim.run();
+
+    EXPECT_EQ(r.connect_rc, 0);
+    EXPECT_TRUE(r.client_done);
+    EXPECT_TRUE(r.server_done);
+    EXPECT_EQ(r.server_rx_total, 30000u);
+    EXPECT_EQ(r.server_msgs, 3);
+    EXPECT_EQ(r.eof_rc, 0);
+}
+
+TEST(TcpStack, BulkThroughputApproachesLineRate)
+{
+    // 4 MB over a 1 Gbps wire: ideal ~33.5 ms; allow up to 60 ms for
+    // protocol and CPU overheads.
+    TwoNodeHarness h;
+    XferResult r;
+    h.b.kernel.spawnProcess(tcpSinkServer(h.b.kernel, true, r));
+    h.a.kernel.spawnProcess(tcpBulkClient(h.a.kernel, 2, 16, 262144, r));
+    h.sim.run();
+
+    EXPECT_EQ(r.server_rx_total, 16u * 262144u);
+    double goodput_mbps =
+        static_cast<double>(r.server_rx_total) * 8.0 /
+        r.elapsed.asSeconds() / 1e6;
+    EXPECT_GT(goodput_mbps, 550.0);
+    EXPECT_LT(goodput_mbps, 1000.0);
+}
+
+TEST(TcpStack, ConnectionRefusedWithoutListener)
+{
+    TwoNodeHarness h;
+    XferResult r;
+    h.a.kernel.spawnProcess(tcpBulkClient(h.a.kernel, 2, 1, 100, r));
+    h.sim.run();
+    EXPECT_EQ(r.connect_rc, err::kConnRefused);
+    EXPECT_TRUE(r.client_done);
+}
+
+TEST(TcpStack, Accept4IsCheaperThanAccept)
+{
+    // Run the identical workload with accept() vs accept4() and compare
+    // server CPU consumption: the accept4 path must burn strictly fewer
+    // cycles (one fewer syscall round trip per accepted connection).
+    SimTime cpu_accept, cpu_accept4;
+    {
+        TwoNodeHarness h;
+        XferResult r;
+        h.b.kernel.spawnProcess(tcpSinkServer(h.b.kernel, false, r));
+        h.a.kernel.spawnProcess(tcpBulkClient(h.a.kernel, 2, 1, 1000, r));
+        h.sim.run();
+        EXPECT_TRUE(r.server_done);
+        cpu_accept = h.b.kernel.cpu().totalBusyTime();
+    }
+    {
+        TwoNodeHarness h;
+        XferResult r;
+        h.b.kernel.spawnProcess(tcpSinkServer(h.b.kernel, true, r));
+        h.a.kernel.spawnProcess(tcpBulkClient(h.a.kernel, 2, 1, 1000, r));
+        h.sim.run();
+        EXPECT_TRUE(r.server_done);
+        cpu_accept4 = h.b.kernel.cpu().totalBusyTime();
+    }
+    EXPECT_LT(cpu_accept4, cpu_accept);
+    // The delta is one fcntl round trip: ~1.3k cycles plus crossings.
+    const KernelProfile prof = KernelProfile::linux2639();
+    const uint64_t delta_cycles =
+        prof.accept_extra_fcntl_cycles + prof.syscall_entry_cycles +
+        prof.syscall_exit_cycles;
+    EXPECT_EQ((cpu_accept - cpu_accept4).toPs(),
+              static_cast<int64_t>(delta_cycles * 250)); // 250 ps @ 4 GHz
+}
+
+TEST(TcpStack, DeterministicAcrossRuns)
+{
+    auto run = [] {
+        TwoNodeHarness h;
+        XferResult r;
+        h.b.kernel.spawnProcess(tcpSinkServer(h.b.kernel, true, r));
+        h.a.kernel.spawnProcess(tcpBulkClient(h.a.kernel, 2, 8, 50000, r));
+        h.sim.run();
+        return std::pair<int64_t, uint64_t>{h.sim.now().toPs(),
+                                            h.sim.executedEvents()};
+    };
+    auto a = run();
+    auto b = run();
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+}
+
+struct PingPongResult {
+    int rounds_done = 0;
+    SimTime first_rtt;
+    bool done = false;
+};
+
+Task<>
+tcpPingServer(Kernel &k)
+{
+    Thread &t = k.createThread("pingsrv");
+    long lfd = co_await k.sysSocket(t, net::Proto::Tcp);
+    co_await k.sysBind(t, static_cast<int>(lfd), 5002);
+    co_await k.sysListen(t, static_cast<int>(lfd), 16);
+    long fd = co_await k.sysAccept(t, static_cast<int>(lfd), true);
+    while (true) {
+        std::vector<RecvedMessage> msgs;
+        long n = co_await k.sysRecv(t, static_cast<int>(fd), 4096, &msgs);
+        if (n <= 0) {
+            break;
+        }
+        co_await k.sysSend(t, static_cast<int>(fd),
+                           static_cast<uint64_t>(n), nullptr);
+    }
+}
+
+Task<>
+tcpPingClient(Kernel &k, net::NodeId dst, int rounds, PingPongResult &r)
+{
+    Thread &t = k.createThread("ping");
+    long fd = co_await k.sysSocket(t, net::Proto::Tcp);
+    long rc = co_await k.sysConnect(t, static_cast<int>(fd), dst, 5002);
+    EXPECT_EQ(rc, 0);
+    for (int i = 0; i < rounds; ++i) {
+        SimTime start = k.sim().now();
+        co_await k.sysSend(t, static_cast<int>(fd), 64, nullptr);
+        uint64_t got = 0;
+        while (got < 64) {
+            long n = co_await k.sysRecv(t, static_cast<int>(fd), 64 - got,
+                                        nullptr);
+            if (n <= 0) {
+                break;
+            }
+            got += static_cast<uint64_t>(n);
+        }
+        if (i == 0) {
+            r.first_rtt = k.sim().now() - start;
+        }
+        ++r.rounds_done;
+    }
+    co_await k.sysClose(t, static_cast<int>(fd));
+    r.done = true;
+}
+
+TEST(TcpStack, PingPongLatencyScale)
+{
+    TwoNodeHarness h;
+    PingPongResult r;
+    h.b.kernel.spawnProcess(tcpPingServer(h.b.kernel));
+    h.a.kernel.spawnProcess(tcpPingClient(h.a.kernel, 2, 50, r));
+    h.sim.run();
+
+    EXPECT_TRUE(r.done);
+    EXPECT_EQ(r.rounds_done, 50);
+    // 64 B app-level ping-pong over one hop: tens of microseconds, far
+    // below a delayed-ACK or RTO artifact (which would be >= 40 ms).
+    EXPECT_GT(r.first_rtt, 5_us);
+    EXPECT_LT(r.first_rtt, 500_us);
+    // The whole 50-round exchange must not contain RTO stalls.
+    EXPECT_LT(h.sim.now(), 100_ms);
+}
+
+} // namespace
+} // namespace os
+} // namespace diablo

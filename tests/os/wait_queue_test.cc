@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/task.hh"
+#include "os/wait_queue.hh"
+
+namespace diablo {
+namespace os {
+namespace {
+
+using namespace diablo::time_literals;
+
+Task<>
+waiter(WaitQueue &wq, SimTime timeout, std::vector<long> &results)
+{
+    long r = co_await wq.wait(timeout);
+    results.push_back(r);
+}
+
+TEST(WaitQueue, WakeOneFifo)
+{
+    Simulator sim;
+    WaitQueue wq(sim);
+    std::vector<long> results;
+    sim.spawn(waiter(wq, SimTime::max(), results));
+    sim.spawn(waiter(wq, SimTime::max(), results));
+    sim.schedule(10_ns, [&] { wq.wakeOne(1); });
+    sim.schedule(20_ns, [&] { wq.wakeOne(2); });
+    sim.run();
+    EXPECT_EQ(results, (std::vector<long>{1, 2}));
+}
+
+TEST(WaitQueue, WakeAllDelivers)
+{
+    Simulator sim;
+    WaitQueue wq(sim);
+    std::vector<long> results;
+    for (int i = 0; i < 5; ++i) {
+        sim.spawn(waiter(wq, SimTime::max(), results));
+    }
+    sim.schedule(10_ns, [&] { wq.wakeAll(7); });
+    sim.run();
+    EXPECT_EQ(results, (std::vector<long>(5, 7)));
+}
+
+TEST(WaitQueue, TimeoutFires)
+{
+    Simulator sim;
+    WaitQueue wq(sim);
+    std::vector<long> results;
+    sim.spawn(waiter(wq, 100_ns, results));
+    sim.run();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0], kWaitTimedOut);
+    EXPECT_EQ(sim.now(), 100_ns);
+}
+
+TEST(WaitQueue, WakeBeforeTimeoutCancelsTimer)
+{
+    Simulator sim;
+    WaitQueue wq(sim);
+    std::vector<long> results;
+    sim.spawn(waiter(wq, 100_ns, results));
+    sim.schedule(50_ns, [&] { wq.wakeOne(42); });
+    sim.run();
+    EXPECT_EQ(results, (std::vector<long>{42}));
+    EXPECT_LE(sim.now(), 100_ns);
+}
+
+TEST(WaitQueue, TimedOutWaiterNotWokenLater)
+{
+    Simulator sim;
+    WaitQueue wq(sim);
+    std::vector<long> results;
+    sim.spawn(waiter(wq, 10_ns, results));
+    sim.spawn(waiter(wq, SimTime::max(), results));
+    // Wake after the first waiter timed out: must reach the second.
+    sim.schedule(50_ns, [&] { EXPECT_TRUE(wq.wakeOne(9)); });
+    sim.run();
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0], kWaitTimedOut);
+    EXPECT_EQ(results[1], 9);
+}
+
+TEST(WaitQueue, WakeOneWithNoWaitersReturnsFalse)
+{
+    Simulator sim;
+    WaitQueue wq(sim);
+    EXPECT_FALSE(wq.wakeOne(1));
+    EXPECT_FALSE(wq.hasWaiters());
+}
+
+TEST(WaitQueue, HasWaitersReflectsState)
+{
+    Simulator sim;
+    WaitQueue wq(sim);
+    std::vector<long> results;
+    sim.spawn(waiter(wq, SimTime::max(), results));
+    sim.schedule(5_ns, [&] {
+        EXPECT_TRUE(wq.hasWaiters());
+        wq.wakeOne(0);
+        EXPECT_FALSE(wq.hasWaiters());
+    });
+    sim.run();
+}
+
+} // namespace
+} // namespace os
+} // namespace diablo

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "switchm/circuit_switch.hh"
+#include "switchm/switch_test_util.hh"
+
+namespace diablo {
+namespace switchm {
+namespace {
+
+using namespace diablo::time_literals;
+using test::SwitchHarness;
+using test::routedPacket;
+
+SwitchParams
+circuitParams()
+{
+    SwitchParams p;
+    p.name = "vc";
+    p.num_ports = 4;
+    p.port_bw = Bandwidth::gbps(10);
+    p.port_latency = 300_ns; // supercomputer-style port latency
+    return p;
+}
+
+TEST(CircuitSwitch, PacketWithoutCircuitIsRejected)
+{
+    Simulator sim;
+    SwitchHarness<CircuitSwitch> h(sim, circuitParams(),
+                                   Bandwidth::gbps(10), 0_ns);
+
+    sim.schedule(0_ns, [&h] {
+        h.sw.inPort(0).receive(routedPacket(1, 100));
+    });
+    sim.run();
+    EXPECT_EQ(h.sw.rejectedNoCircuit(), 1u);
+    EXPECT_EQ(h.sinks[1]->arrivals.size(), 0u);
+}
+
+TEST(CircuitSwitch, EstablishedCircuitCarriesTraffic)
+{
+    Simulator sim;
+    SwitchHarness<CircuitSwitch> h(sim, circuitParams(),
+                                   Bandwidth::gbps(10), 0_ns);
+    h.sw.setSetupDelay(1_us);
+
+    CircuitId id;
+    sim.schedule(0_ns, [&] { id = h.sw.setupCircuit(0, 1, 1.0); });
+    // Before the setup delay elapses, traffic is rejected.
+    sim.schedule(500_ns, [&h] {
+        h.sw.inPort(0).receive(routedPacket(1, 100));
+    });
+    // After setup, traffic flows.
+    sim.schedule(2_us, [&h] {
+        h.sw.inPort(0).receive(routedPacket(1, 100));
+    });
+    sim.run();
+
+    EXPECT_TRUE(id.valid());
+    EXPECT_EQ(h.sw.rejectedNoCircuit(), 1u);
+    ASSERT_EQ(h.sinks[1]->arrivals.size(), 1u);
+    // 300 ns port latency then serialization of the 166-byte wire frame.
+    SimTime ser = Bandwidth::gbps(10).transferTime(167);
+    EXPECT_EQ(h.sinks[1]->arrivals[0].first, 2_us + 300_ns + ser);
+}
+
+TEST(CircuitSwitch, AdmissionControlOnOutputCapacity)
+{
+    Simulator sim;
+    SwitchHarness<CircuitSwitch> h(sim, circuitParams(),
+                                   Bandwidth::gbps(10), 0_ns);
+
+    CircuitId a, b, c;
+    sim.schedule(0_ns, [&] {
+        a = h.sw.setupCircuit(0, 3, 0.5);
+        b = h.sw.setupCircuit(1, 3, 0.5);
+        c = h.sw.setupCircuit(2, 3, 0.25); // would exceed 100%
+    });
+    sim.run();
+    EXPECT_TRUE(a.valid());
+    EXPECT_TRUE(b.valid());
+    EXPECT_FALSE(c.valid());
+    EXPECT_DOUBLE_EQ(h.sw.reservedShare(3), 1.0);
+}
+
+TEST(CircuitSwitch, TeardownReleasesCapacity)
+{
+    Simulator sim;
+    SwitchHarness<CircuitSwitch> h(sim, circuitParams(),
+                                   Bandwidth::gbps(10), 0_ns);
+
+    CircuitId a, b;
+    sim.schedule(0_ns, [&] {
+        a = h.sw.setupCircuit(0, 3, 1.0);
+        h.sw.teardownCircuit(a);
+        b = h.sw.setupCircuit(1, 3, 1.0);
+    });
+    sim.run();
+    EXPECT_TRUE(b.valid());
+    EXPECT_DOUBLE_EQ(h.sw.reservedShare(3), 1.0);
+}
+
+TEST(CircuitSwitch, PacingAtReservedRate)
+{
+    Simulator sim;
+    SwitchHarness<CircuitSwitch> h(sim, circuitParams(),
+                                   Bandwidth::gbps(10), 0_ns);
+    h.sw.setSetupDelay(0_ns);
+
+    sim.schedule(0_ns, [&h] {
+        h.sw.setupCircuit(0, 1, 0.5); // half-rate circuit
+    });
+    sim.schedule(1_us, [&h] {
+        for (int k = 0; k < 3; ++k) {
+            h.sw.inPort(0).receive(routedPacket(1, 1462));
+        }
+    });
+    sim.run();
+
+    ASSERT_EQ(h.sinks[1]->arrivals.size(), 3u);
+    // Departures are spaced at 2x the line serialization time.
+    SimTime ser = Bandwidth::gbps(10).transferTime(1529);
+    SimTime gap1 =
+        h.sinks[1]->arrivals[1].first - h.sinks[1]->arrivals[0].first;
+    SimTime gap2 =
+        h.sinks[1]->arrivals[2].first - h.sinks[1]->arrivals[1].first;
+    EXPECT_EQ(gap1, ser * 2);
+    EXPECT_EQ(gap2, ser * 2);
+}
+
+TEST(CircuitSwitch, CircuitsDoNotBlockEachOther)
+{
+    Simulator sim;
+    SwitchHarness<CircuitSwitch> h(sim, circuitParams(),
+                                   Bandwidth::gbps(10), 0_ns);
+    h.sw.setSetupDelay(0_ns);
+
+    sim.schedule(0_ns, [&h] {
+        h.sw.setupCircuit(0, 1, 1.0);
+        h.sw.setupCircuit(2, 3, 1.0);
+    });
+    sim.schedule(1_us, [&h] {
+        h.sw.inPort(0).receive(routedPacket(1, 1000));
+        h.sw.inPort(2).receive(routedPacket(3, 1000));
+    });
+    sim.run();
+
+    ASSERT_EQ(h.sinks[1]->arrivals.size(), 1u);
+    ASSERT_EQ(h.sinks[3]->arrivals.size(), 1u);
+    // Disjoint circuits see identical latency: no cross interference.
+    EXPECT_EQ(h.sinks[1]->arrivals[0].first, h.sinks[3]->arrivals[0].first);
+}
+
+} // namespace
+} // namespace switchm
+} // namespace diablo

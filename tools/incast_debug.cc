@@ -1,0 +1,52 @@
+#include <cstdio>
+#include <cstdlib>
+#include "apps/incast.hh"
+#include "core/log.hh"
+
+using namespace diablo;
+using namespace diablo::apps;
+
+int main(int argc, char** argv) {
+    uint32_t n = argc > 1 ? atoi(argv[1]) : 2;
+    uint64_t buf = argc > 2 ? atoll(argv[2]) : 4096;
+    uint32_t iters = argc > 3 ? atoi(argv[3]) : 5;
+    const char* policy = argc > 4 ? argv[4] : "partitioned";
+    bool epoll = argc > 5 && atoi(argv[5]);
+    double ghz = argc > 6 ? atof(argv[6]) : 4.0;
+    double gbps = argc > 7 ? atof(argv[7]) : 1.0;
+    if (getenv("DIABLO_TRACE")) log::setLevel(log::Level::Trace);
+    Simulator sim;
+    sim::ClusterParams cp = gbps > 5 ? sim::ClusterParams::tengig100ns()
+                                     : sim::ClusterParams::gige1us();
+    cp.topo.servers_per_rack = n + 1;
+    cp.topo.racks_per_array = 1;
+    cp.topo.num_arrays = 1;
+    cp.cpu.freq_ghz = ghz;
+    cp.topo.rack_sw.buffer_per_port_bytes = buf;
+    cp.topo.rack_sw.buffer_total_bytes = buf * 16;
+    cp.topo.rack_sw.buffer_policy = switchm::bufferPolicyFromString(policy);
+    sim::Cluster cluster(sim, cp);
+    IncastParams ip;
+    ip.block_bytes = 262144;
+    ip.iterations = iters;
+    ip.use_epoll = epoll;
+    std::vector<net::NodeId> servers;
+    for (uint32_t i = 1; i <= n; ++i) servers.push_back(i);
+    IncastApp app(cluster, ip, 0, servers);
+    app.install();
+    sim.run();
+    auto& r = app.result();
+    printf("n=%2u buf=%llu pol=%s iters=%u epoll=%d ghz=%.0f goodput=%8.1f Mbps "
+           "rtos=%llu retx=%llu drops=%llu\n",
+           n, (unsigned long long)buf, policy, iters, (int)epoll, ghz,
+           r.goodputMbps(),
+           (unsigned long long)cluster.totalTcpRtos(),
+           (unsigned long long)cluster.totalTcpRetransmits(),
+           (unsigned long long)cluster.network().totalSwitchDrops());
+    auto& tor = cluster.network().rackSwitch(0);
+    for (uint32_t i = 0; i <= n; ++i) {
+        if (tor.dropsAt(i)) printf("  tor port %u drops=%llu\n", i,
+            (unsigned long long)tor.dropsAt(i));
+    }
+    return 0;
+}

@@ -1,0 +1,95 @@
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/mc_experiment.hh"
+#include "core/log.hh"
+
+using namespace diablo;
+using namespace diablo::apps;
+
+int
+main(int argc, char **argv)
+{
+    // args: racks proto(udp/tcp) gbps requests kernel(2.6/3.5) mcver
+    uint32_t racks = argc > 1 ? atoi(argv[1]) : 16;
+    bool udp = argc > 2 ? std::string(argv[2]) == "udp" : true;
+    double gbps = argc > 3 ? atof(argv[3]) : 1.0;
+    uint32_t requests = argc > 4 ? atoi(argv[4]) : 100;
+    std::string kver = argc > 5 ? argv[5] : "2.6.39.3";
+    int mcver = argc > 6 ? atoi(argv[6]) : 1417;
+
+    McExperimentParams p;
+    p.cluster = gbps > 5 ? sim::ClusterParams::tengig100ns()
+                         : sim::ClusterParams::gige1us();
+    p.cluster.kernel_profile = os::KernelProfile::byName(kver);
+    p.cluster.topo.servers_per_rack = 31;
+    if (racks <= 16) {
+        p.cluster.topo.racks_per_array = racks;
+        p.cluster.topo.num_arrays = 1;
+    } else {
+        p.cluster.topo.racks_per_array = 16;
+        p.cluster.topo.num_arrays = (racks + 15) / 16;
+    }
+    p.num_servers = std::max(4u, racks * 2);
+    p.server.udp = udp;
+    p.server.version = mcver;
+    p.client.udp = udp;
+    p.client.requests = requests;
+    if (getenv("DIABLO_THINK_US"))
+        p.client.think_mean = SimTime::us(atoi(getenv("DIABLO_THINK_US")));
+
+    Simulator sim;
+    McExperiment exp(sim, p);
+    auto t0 = std::chrono::steady_clock::now();
+    exp.run();
+    auto t1 = std::chrono::steady_clock::now();
+    const McExperimentResult &r = exp.result();
+
+    printf("nodes=%u servers=%u clients=%u proto=%s %gG kernel=%s "
+           "mc=%d req/cli=%u\n",
+           exp.cluster().size(), r.servers, r.clients, udp ? "UDP" : "TCP",
+           gbps, kver.c_str(), mcver, requests);
+    printf("completed=%llu timeouts=%llu retries=%llu elapsed=%s\n",
+           (unsigned long long)r.requests_completed,
+           (unsigned long long)r.udp_timeouts,
+           (unsigned long long)r.udp_retries, r.elapsed.str().c_str());
+    const SampleSet &l = r.latency_us;
+    printf("latency us: p50=%.0f p90=%.0f p95=%.0f p99=%.0f p99.9=%.0f "
+           "max=%.0f mean=%.0f\n",
+           l.percentile(50), l.percentile(90), l.percentile(95),
+           l.percentile(99), l.percentile(99.9), l.max(), l.mean());
+    const char *names[3] = {"local", "1-hop", "2-hop"};
+    for (int h = 0; h < 3; ++h) {
+        const SampleSet &s = r.latency_us_by_hop[h];
+        if (s.count()) {
+            printf("  %s n=%zu p50=%.0f p99=%.0f max=%.0f\n", names[h],
+                   s.count(), s.percentile(50), s.percentile(99), s.max());
+        }
+    }
+    printf("tcp: retx=%llu rtos=%llu; switch drops=%llu; udp sock "
+           "drops=%llu; nic drops=%llu\n",
+           (unsigned long long)exp.cluster().totalTcpRetransmits(),
+           (unsigned long long)exp.cluster().totalTcpRtos(),
+           (unsigned long long)exp.cluster().network().totalSwitchDrops(),
+           (unsigned long long)exp.cluster().totalUdpSocketDrops(),
+           (unsigned long long)exp.cluster().totalNicRxDrops());
+    {
+        auto &net = exp.cluster().network();
+        uint64_t rack = 0, arr = 0, dc = 0;
+        for (size_t i = 0; i < net.numRackSwitches(); ++i)
+            rack += net.rackSwitch((uint32_t)i).stats().dropped_pkts;
+        for (size_t i = 0; i < net.numArraySwitches(); ++i)
+            arr += net.arraySwitch((uint32_t)i).stats().dropped_pkts;
+        if (net.hasDcSwitch()) dc = net.dcSwitch().stats().dropped_pkts;
+        printf("drops by level: rack=%llu array=%llu dc=%llu\n",
+               (unsigned long long)rack, (unsigned long long)arr,
+               (unsigned long long)dc);
+    }
+    double wall =
+        std::chrono::duration<double>(t1 - t0).count();
+    printf("wallclock=%.1fs events=%llu (%.1fM ev/s)\n", wall,
+           (unsigned long long)sim.executedEvents(),
+           sim.executedEvents() / wall / 1e6);
+    return 0;
+}
