@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_buffer_policies.dir/ablation_buffer_policies.cc.o"
+  "CMakeFiles/ablation_buffer_policies.dir/ablation_buffer_policies.cc.o.d"
+  "ablation_buffer_policies"
+  "ablation_buffer_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_buffer_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

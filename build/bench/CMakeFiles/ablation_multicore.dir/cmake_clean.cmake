@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multicore.dir/ablation_multicore.cc.o"
+  "CMakeFiles/ablation_multicore.dir/ablation_multicore.cc.o.d"
+  "ablation_multicore"
+  "ablation_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sync_quantum.dir/ablation_sync_quantum.cc.o"
+  "CMakeFiles/ablation_sync_quantum.dir/ablation_sync_quantum.cc.o.d"
+  "ablation_sync_quantum"
+  "ablation_sync_quantum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sync_quantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

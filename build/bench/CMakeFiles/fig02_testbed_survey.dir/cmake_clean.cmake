@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_testbed_survey.dir/fig02_testbed_survey.cc.o"
+  "CMakeFiles/fig02_testbed_survey.dir/fig02_testbed_survey.cc.o.d"
+  "fig02_testbed_survey"
+  "fig02_testbed_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_testbed_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06a_incast_1g.dir/fig06a_incast_1g.cc.o"
+  "CMakeFiles/fig06a_incast_1g.dir/fig06a_incast_1g.cc.o.d"
+  "fig06a_incast_1g"
+  "fig06a_incast_1g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06a_incast_1g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06a_incast_1g.
+# This may be replaced when dependencies are built.

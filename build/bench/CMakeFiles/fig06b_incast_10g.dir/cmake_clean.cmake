@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06b_incast_10g.dir/fig06b_incast_10g.cc.o"
+  "CMakeFiles/fig06b_incast_10g.dir/fig06b_incast_10g.cc.o.d"
+  "fig06b_incast_10g"
+  "fig06b_incast_10g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06b_incast_10g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06b_incast_10g.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_memcached_singlerack.dir/fig08_memcached_singlerack.cc.o"
+  "CMakeFiles/fig08_memcached_singlerack.dir/fig08_memcached_singlerack.cc.o.d"
+  "fig08_memcached_singlerack"
+  "fig08_memcached_singlerack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_memcached_singlerack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

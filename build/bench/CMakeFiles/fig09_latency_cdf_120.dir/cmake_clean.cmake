@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_latency_cdf_120.dir/fig09_latency_cdf_120.cc.o"
+  "CMakeFiles/fig09_latency_cdf_120.dir/fig09_latency_cdf_120.cc.o.d"
+  "fig09_latency_cdf_120"
+  "fig09_latency_cdf_120.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_latency_cdf_120.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

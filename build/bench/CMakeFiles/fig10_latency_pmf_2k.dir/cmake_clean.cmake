@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_latency_pmf_2k.dir/fig10_latency_pmf_2k.cc.o"
+  "CMakeFiles/fig10_latency_pmf_2k.dir/fig10_latency_pmf_2k.cc.o.d"
+  "fig10_latency_pmf_2k"
+  "fig10_latency_pmf_2k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_latency_pmf_2k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_scale_tail.dir/fig11_scale_tail.cc.o"
+  "CMakeFiles/fig11_scale_tail.dir/fig11_scale_tail.cc.o.d"
+  "fig11_scale_tail"
+  "fig11_scale_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_scale_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

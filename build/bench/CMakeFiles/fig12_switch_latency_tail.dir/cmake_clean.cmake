@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_switch_latency_tail.dir/fig12_switch_latency_tail.cc.o"
+  "CMakeFiles/fig12_switch_latency_tail.dir/fig12_switch_latency_tail.cc.o.d"
+  "fig12_switch_latency_tail"
+  "fig12_switch_latency_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_switch_latency_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_tcp_vs_udp.dir/fig13_tcp_vs_udp.cc.o"
+  "CMakeFiles/fig13_tcp_vs_udp.dir/fig13_tcp_vs_udp.cc.o.d"
+  "fig13_tcp_vs_udp"
+  "fig13_tcp_vs_udp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_tcp_vs_udp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_kernel_versions.dir/fig14_kernel_versions.cc.o"
+  "CMakeFiles/fig14_kernel_versions.dir/fig14_kernel_versions.cc.o.d"
+  "fig14_kernel_versions"
+  "fig14_kernel_versions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_kernel_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

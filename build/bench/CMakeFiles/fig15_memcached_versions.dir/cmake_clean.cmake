@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_memcached_versions.dir/fig15_memcached_versions.cc.o"
+  "CMakeFiles/fig15_memcached_versions.dir/fig15_memcached_versions.cc.o.d"
+  "fig15_memcached_versions"
+  "fig15_memcached_versions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_memcached_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_workload_survey.dir/tab01_workload_survey.cc.o"
+  "CMakeFiles/tab01_workload_survey.dir/tab01_workload_survey.cc.o.d"
+  "tab01_workload_survey"
+  "tab01_workload_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_workload_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

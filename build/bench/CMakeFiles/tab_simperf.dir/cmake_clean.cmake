@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_simperf.dir/tab_simperf.cc.o"
+  "CMakeFiles/tab_simperf.dir/tab_simperf.cc.o.d"
+  "tab_simperf"
+  "tab_simperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_simperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

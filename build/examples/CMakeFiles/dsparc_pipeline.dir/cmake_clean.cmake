@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsparc_pipeline.dir/dsparc_pipeline.cpp.o"
+  "CMakeFiles/dsparc_pipeline.dir/dsparc_pipeline.cpp.o.d"
+  "dsparc_pipeline"
+  "dsparc_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsparc_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

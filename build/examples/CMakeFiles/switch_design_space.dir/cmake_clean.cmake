@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_design_space.dir/switch_design_space.cpp.o"
+  "CMakeFiles/switch_design_space.dir/switch_design_space.cpp.o.d"
+  "switch_design_space"
+  "switch_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

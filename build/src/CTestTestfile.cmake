@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("net")
+subdirs("switchm")
+subdirs("os")
+subdirs("nic")
+subdirs("topo")
+subdirs("sim")
+subdirs("apps")
+subdirs("isa")
+subdirs("fame")
+subdirs("analysis")

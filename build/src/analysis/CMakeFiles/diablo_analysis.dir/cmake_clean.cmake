@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diablo_analysis.dir/report.cc.o"
+  "CMakeFiles/diablo_analysis.dir/report.cc.o.d"
+  "CMakeFiles/diablo_analysis.dir/survey.cc.o"
+  "CMakeFiles/diablo_analysis.dir/survey.cc.o.d"
+  "libdiablo_analysis.a"
+  "libdiablo_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diablo_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

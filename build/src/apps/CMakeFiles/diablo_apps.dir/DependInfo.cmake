@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/background_noise.cc" "src/apps/CMakeFiles/diablo_apps.dir/background_noise.cc.o" "gcc" "src/apps/CMakeFiles/diablo_apps.dir/background_noise.cc.o.d"
+  "/root/repo/src/apps/incast.cc" "src/apps/CMakeFiles/diablo_apps.dir/incast.cc.o" "gcc" "src/apps/CMakeFiles/diablo_apps.dir/incast.cc.o.d"
+  "/root/repo/src/apps/mc_experiment.cc" "src/apps/CMakeFiles/diablo_apps.dir/mc_experiment.cc.o" "gcc" "src/apps/CMakeFiles/diablo_apps.dir/mc_experiment.cc.o.d"
+  "/root/repo/src/apps/memcached.cc" "src/apps/CMakeFiles/diablo_apps.dir/memcached.cc.o" "gcc" "src/apps/CMakeFiles/diablo_apps.dir/memcached.cc.o.d"
+  "/root/repo/src/apps/workload.cc" "src/apps/CMakeFiles/diablo_apps.dir/workload.cc.o" "gcc" "src/apps/CMakeFiles/diablo_apps.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/diablo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/diablo_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchm/CMakeFiles/diablo_switch.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/diablo_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/diablo_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/diablo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/diablo_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

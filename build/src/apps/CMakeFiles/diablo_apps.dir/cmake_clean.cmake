@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diablo_apps.dir/background_noise.cc.o"
+  "CMakeFiles/diablo_apps.dir/background_noise.cc.o.d"
+  "CMakeFiles/diablo_apps.dir/incast.cc.o"
+  "CMakeFiles/diablo_apps.dir/incast.cc.o.d"
+  "CMakeFiles/diablo_apps.dir/mc_experiment.cc.o"
+  "CMakeFiles/diablo_apps.dir/mc_experiment.cc.o.d"
+  "CMakeFiles/diablo_apps.dir/memcached.cc.o"
+  "CMakeFiles/diablo_apps.dir/memcached.cc.o.d"
+  "CMakeFiles/diablo_apps.dir/workload.cc.o"
+  "CMakeFiles/diablo_apps.dir/workload.cc.o.d"
+  "libdiablo_apps.a"
+  "libdiablo_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diablo_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/diablo_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/diablo_core.dir/config.cc.o.d"
+  "/root/repo/src/core/event.cc" "src/core/CMakeFiles/diablo_core.dir/event.cc.o" "gcc" "src/core/CMakeFiles/diablo_core.dir/event.cc.o.d"
+  "/root/repo/src/core/log.cc" "src/core/CMakeFiles/diablo_core.dir/log.cc.o" "gcc" "src/core/CMakeFiles/diablo_core.dir/log.cc.o.d"
+  "/root/repo/src/core/random.cc" "src/core/CMakeFiles/diablo_core.dir/random.cc.o" "gcc" "src/core/CMakeFiles/diablo_core.dir/random.cc.o.d"
+  "/root/repo/src/core/simulator.cc" "src/core/CMakeFiles/diablo_core.dir/simulator.cc.o" "gcc" "src/core/CMakeFiles/diablo_core.dir/simulator.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/core/CMakeFiles/diablo_core.dir/stats.cc.o" "gcc" "src/core/CMakeFiles/diablo_core.dir/stats.cc.o.d"
+  "/root/repo/src/core/time.cc" "src/core/CMakeFiles/diablo_core.dir/time.cc.o" "gcc" "src/core/CMakeFiles/diablo_core.dir/time.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

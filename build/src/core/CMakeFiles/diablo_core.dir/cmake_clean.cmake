@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diablo_core.dir/config.cc.o"
+  "CMakeFiles/diablo_core.dir/config.cc.o.d"
+  "CMakeFiles/diablo_core.dir/event.cc.o"
+  "CMakeFiles/diablo_core.dir/event.cc.o.d"
+  "CMakeFiles/diablo_core.dir/log.cc.o"
+  "CMakeFiles/diablo_core.dir/log.cc.o.d"
+  "CMakeFiles/diablo_core.dir/random.cc.o"
+  "CMakeFiles/diablo_core.dir/random.cc.o.d"
+  "CMakeFiles/diablo_core.dir/simulator.cc.o"
+  "CMakeFiles/diablo_core.dir/simulator.cc.o.d"
+  "CMakeFiles/diablo_core.dir/stats.cc.o"
+  "CMakeFiles/diablo_core.dir/stats.cc.o.d"
+  "CMakeFiles/diablo_core.dir/time.cc.o"
+  "CMakeFiles/diablo_core.dir/time.cc.o.d"
+  "libdiablo_core.a"
+  "libdiablo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diablo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

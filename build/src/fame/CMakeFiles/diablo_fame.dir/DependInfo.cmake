@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fame/cost_model.cc" "src/fame/CMakeFiles/diablo_fame.dir/cost_model.cc.o" "gcc" "src/fame/CMakeFiles/diablo_fame.dir/cost_model.cc.o.d"
+  "/root/repo/src/fame/partition.cc" "src/fame/CMakeFiles/diablo_fame.dir/partition.cc.o" "gcc" "src/fame/CMakeFiles/diablo_fame.dir/partition.cc.o.d"
+  "/root/repo/src/fame/perf_model.cc" "src/fame/CMakeFiles/diablo_fame.dir/perf_model.cc.o" "gcc" "src/fame/CMakeFiles/diablo_fame.dir/perf_model.cc.o.d"
+  "/root/repo/src/fame/resource_model.cc" "src/fame/CMakeFiles/diablo_fame.dir/resource_model.cc.o" "gcc" "src/fame/CMakeFiles/diablo_fame.dir/resource_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/diablo_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diablo_fame.dir/cost_model.cc.o"
+  "CMakeFiles/diablo_fame.dir/cost_model.cc.o.d"
+  "CMakeFiles/diablo_fame.dir/partition.cc.o"
+  "CMakeFiles/diablo_fame.dir/partition.cc.o.d"
+  "CMakeFiles/diablo_fame.dir/perf_model.cc.o"
+  "CMakeFiles/diablo_fame.dir/perf_model.cc.o.d"
+  "CMakeFiles/diablo_fame.dir/resource_model.cc.o"
+  "CMakeFiles/diablo_fame.dir/resource_model.cc.o.d"
+  "libdiablo_fame.a"
+  "libdiablo_fame.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diablo_fame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

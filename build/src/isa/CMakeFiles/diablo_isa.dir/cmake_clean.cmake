@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diablo_isa.dir/assembler.cc.o"
+  "CMakeFiles/diablo_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/diablo_isa.dir/interpreter.cc.o"
+  "CMakeFiles/diablo_isa.dir/interpreter.cc.o.d"
+  "CMakeFiles/diablo_isa.dir/pipeline.cc.o"
+  "CMakeFiles/diablo_isa.dir/pipeline.cc.o.d"
+  "libdiablo_isa.a"
+  "libdiablo_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diablo_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diablo_net.dir/link.cc.o"
+  "CMakeFiles/diablo_net.dir/link.cc.o.d"
+  "CMakeFiles/diablo_net.dir/packet.cc.o"
+  "CMakeFiles/diablo_net.dir/packet.cc.o.d"
+  "libdiablo_net.a"
+  "libdiablo_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diablo_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diablo_nic.dir/nic_model.cc.o"
+  "CMakeFiles/diablo_nic.dir/nic_model.cc.o.d"
+  "libdiablo_nic.a"
+  "libdiablo_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diablo_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

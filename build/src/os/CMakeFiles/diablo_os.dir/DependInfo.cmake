@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/cpu.cc" "src/os/CMakeFiles/diablo_os.dir/cpu.cc.o" "gcc" "src/os/CMakeFiles/diablo_os.dir/cpu.cc.o.d"
+  "/root/repo/src/os/kernel.cc" "src/os/CMakeFiles/diablo_os.dir/kernel.cc.o" "gcc" "src/os/CMakeFiles/diablo_os.dir/kernel.cc.o.d"
+  "/root/repo/src/os/kernel_profile.cc" "src/os/CMakeFiles/diablo_os.dir/kernel_profile.cc.o" "gcc" "src/os/CMakeFiles/diablo_os.dir/kernel_profile.cc.o.d"
+  "/root/repo/src/os/socket.cc" "src/os/CMakeFiles/diablo_os.dir/socket.cc.o" "gcc" "src/os/CMakeFiles/diablo_os.dir/socket.cc.o.d"
+  "/root/repo/src/os/tcp.cc" "src/os/CMakeFiles/diablo_os.dir/tcp.cc.o" "gcc" "src/os/CMakeFiles/diablo_os.dir/tcp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/diablo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/diablo_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

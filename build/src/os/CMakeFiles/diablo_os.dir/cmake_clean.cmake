@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diablo_os.dir/cpu.cc.o"
+  "CMakeFiles/diablo_os.dir/cpu.cc.o.d"
+  "CMakeFiles/diablo_os.dir/kernel.cc.o"
+  "CMakeFiles/diablo_os.dir/kernel.cc.o.d"
+  "CMakeFiles/diablo_os.dir/kernel_profile.cc.o"
+  "CMakeFiles/diablo_os.dir/kernel_profile.cc.o.d"
+  "CMakeFiles/diablo_os.dir/socket.cc.o"
+  "CMakeFiles/diablo_os.dir/socket.cc.o.d"
+  "CMakeFiles/diablo_os.dir/tcp.cc.o"
+  "CMakeFiles/diablo_os.dir/tcp.cc.o.d"
+  "libdiablo_os.a"
+  "libdiablo_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diablo_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diablo_sim.dir/cluster.cc.o"
+  "CMakeFiles/diablo_sim.dir/cluster.cc.o.d"
+  "libdiablo_sim.a"
+  "libdiablo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diablo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

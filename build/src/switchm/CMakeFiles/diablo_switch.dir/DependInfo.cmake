@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/switchm/buffer_manager.cc" "src/switchm/CMakeFiles/diablo_switch.dir/buffer_manager.cc.o" "gcc" "src/switchm/CMakeFiles/diablo_switch.dir/buffer_manager.cc.o.d"
+  "/root/repo/src/switchm/circuit_switch.cc" "src/switchm/CMakeFiles/diablo_switch.dir/circuit_switch.cc.o" "gcc" "src/switchm/CMakeFiles/diablo_switch.dir/circuit_switch.cc.o.d"
+  "/root/repo/src/switchm/output_queue_switch.cc" "src/switchm/CMakeFiles/diablo_switch.dir/output_queue_switch.cc.o" "gcc" "src/switchm/CMakeFiles/diablo_switch.dir/output_queue_switch.cc.o.d"
+  "/root/repo/src/switchm/switch_params.cc" "src/switchm/CMakeFiles/diablo_switch.dir/switch_params.cc.o" "gcc" "src/switchm/CMakeFiles/diablo_switch.dir/switch_params.cc.o.d"
+  "/root/repo/src/switchm/voq_switch.cc" "src/switchm/CMakeFiles/diablo_switch.dir/voq_switch.cc.o" "gcc" "src/switchm/CMakeFiles/diablo_switch.dir/voq_switch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/diablo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/diablo_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

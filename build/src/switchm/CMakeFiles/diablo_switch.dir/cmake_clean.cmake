@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diablo_switch.dir/buffer_manager.cc.o"
+  "CMakeFiles/diablo_switch.dir/buffer_manager.cc.o.d"
+  "CMakeFiles/diablo_switch.dir/circuit_switch.cc.o"
+  "CMakeFiles/diablo_switch.dir/circuit_switch.cc.o.d"
+  "CMakeFiles/diablo_switch.dir/output_queue_switch.cc.o"
+  "CMakeFiles/diablo_switch.dir/output_queue_switch.cc.o.d"
+  "CMakeFiles/diablo_switch.dir/switch_params.cc.o"
+  "CMakeFiles/diablo_switch.dir/switch_params.cc.o.d"
+  "CMakeFiles/diablo_switch.dir/voq_switch.cc.o"
+  "CMakeFiles/diablo_switch.dir/voq_switch.cc.o.d"
+  "libdiablo_switch.a"
+  "libdiablo_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diablo_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

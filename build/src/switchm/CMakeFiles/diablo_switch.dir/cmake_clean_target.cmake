@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdiablo_switch.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diablo_topo.dir/clos.cc.o"
+  "CMakeFiles/diablo_topo.dir/clos.cc.o.d"
+  "libdiablo_topo.a"
+  "libdiablo_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diablo_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/incast_test.cc" "tests/CMakeFiles/apps_test.dir/apps/incast_test.cc.o" "gcc" "tests/CMakeFiles/apps_test.dir/apps/incast_test.cc.o.d"
+  "/root/repo/tests/apps/memcached_test.cc" "tests/CMakeFiles/apps_test.dir/apps/memcached_test.cc.o" "gcc" "tests/CMakeFiles/apps_test.dir/apps/memcached_test.cc.o.d"
+  "/root/repo/tests/apps/workload_test.cc" "tests/CMakeFiles/apps_test.dir/apps/workload_test.cc.o" "gcc" "tests/CMakeFiles/apps_test.dir/apps/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/diablo_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/diablo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/diablo_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchm/CMakeFiles/diablo_switch.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/diablo_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/diablo_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/diablo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/diablo_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

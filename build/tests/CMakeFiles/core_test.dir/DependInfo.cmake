@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/config_test.cc" "tests/CMakeFiles/core_test.dir/core/config_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/config_test.cc.o.d"
+  "/root/repo/tests/core/event_test.cc" "tests/CMakeFiles/core_test.dir/core/event_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/event_test.cc.o.d"
+  "/root/repo/tests/core/random_test.cc" "tests/CMakeFiles/core_test.dir/core/random_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/random_test.cc.o.d"
+  "/root/repo/tests/core/stats_test.cc" "tests/CMakeFiles/core_test.dir/core/stats_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/stats_test.cc.o.d"
+  "/root/repo/tests/core/task_test.cc" "tests/CMakeFiles/core_test.dir/core/task_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/task_test.cc.o.d"
+  "/root/repo/tests/core/time_test.cc" "tests/CMakeFiles/core_test.dir/core/time_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/time_test.cc.o.d"
+  "/root/repo/tests/core/units_test.cc" "tests/CMakeFiles/core_test.dir/core/units_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/units_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/diablo_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

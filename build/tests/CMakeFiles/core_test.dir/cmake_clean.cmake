@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/config_test.cc.o"
+  "CMakeFiles/core_test.dir/core/config_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/event_test.cc.o"
+  "CMakeFiles/core_test.dir/core/event_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/random_test.cc.o"
+  "CMakeFiles/core_test.dir/core/random_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/stats_test.cc.o"
+  "CMakeFiles/core_test.dir/core/stats_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/task_test.cc.o"
+  "CMakeFiles/core_test.dir/core/task_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/time_test.cc.o"
+  "CMakeFiles/core_test.dir/core/time_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/units_test.cc.o"
+  "CMakeFiles/core_test.dir/core/units_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fame/models_test.cc" "tests/CMakeFiles/fame_test.dir/fame/models_test.cc.o" "gcc" "tests/CMakeFiles/fame_test.dir/fame/models_test.cc.o.d"
+  "/root/repo/tests/fame/partition_test.cc" "tests/CMakeFiles/fame_test.dir/fame/partition_test.cc.o" "gcc" "tests/CMakeFiles/fame_test.dir/fame/partition_test.cc.o.d"
+  "/root/repo/tests/fame/resource_model_test.cc" "tests/CMakeFiles/fame_test.dir/fame/resource_model_test.cc.o" "gcc" "tests/CMakeFiles/fame_test.dir/fame/resource_model_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fame/CMakeFiles/diablo_fame.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/diablo_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fame_test.dir/fame/models_test.cc.o"
+  "CMakeFiles/fame_test.dir/fame/models_test.cc.o.d"
+  "CMakeFiles/fame_test.dir/fame/partition_test.cc.o"
+  "CMakeFiles/fame_test.dir/fame/partition_test.cc.o.d"
+  "CMakeFiles/fame_test.dir/fame/resource_model_test.cc.o"
+  "CMakeFiles/fame_test.dir/fame/resource_model_test.cc.o.d"
+  "fame_test"
+  "fame_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fame_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/isa/interpreter_test.cc" "tests/CMakeFiles/isa_test.dir/isa/interpreter_test.cc.o" "gcc" "tests/CMakeFiles/isa_test.dir/isa/interpreter_test.cc.o.d"
+  "/root/repo/tests/isa/pipeline_test.cc" "tests/CMakeFiles/isa_test.dir/isa/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/isa_test.dir/isa/pipeline_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/diablo_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/diablo_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

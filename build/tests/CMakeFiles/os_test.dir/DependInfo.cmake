@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/os/cpu_test.cc" "tests/CMakeFiles/os_test.dir/os/cpu_test.cc.o" "gcc" "tests/CMakeFiles/os_test.dir/os/cpu_test.cc.o.d"
+  "/root/repo/tests/os/epoll_test.cc" "tests/CMakeFiles/os_test.dir/os/epoll_test.cc.o" "gcc" "tests/CMakeFiles/os_test.dir/os/epoll_test.cc.o.d"
+  "/root/repo/tests/os/kernel_detail_test.cc" "tests/CMakeFiles/os_test.dir/os/kernel_detail_test.cc.o" "gcc" "tests/CMakeFiles/os_test.dir/os/kernel_detail_test.cc.o.d"
+  "/root/repo/tests/os/multicore_test.cc" "tests/CMakeFiles/os_test.dir/os/multicore_test.cc.o" "gcc" "tests/CMakeFiles/os_test.dir/os/multicore_test.cc.o.d"
+  "/root/repo/tests/os/tcp_loss_test.cc" "tests/CMakeFiles/os_test.dir/os/tcp_loss_test.cc.o" "gcc" "tests/CMakeFiles/os_test.dir/os/tcp_loss_test.cc.o.d"
+  "/root/repo/tests/os/tcp_property_test.cc" "tests/CMakeFiles/os_test.dir/os/tcp_property_test.cc.o" "gcc" "tests/CMakeFiles/os_test.dir/os/tcp_property_test.cc.o.d"
+  "/root/repo/tests/os/tcp_test.cc" "tests/CMakeFiles/os_test.dir/os/tcp_test.cc.o" "gcc" "tests/CMakeFiles/os_test.dir/os/tcp_test.cc.o.d"
+  "/root/repo/tests/os/udp_test.cc" "tests/CMakeFiles/os_test.dir/os/udp_test.cc.o" "gcc" "tests/CMakeFiles/os_test.dir/os/udp_test.cc.o.d"
+  "/root/repo/tests/os/wait_queue_test.cc" "tests/CMakeFiles/os_test.dir/os/wait_queue_test.cc.o" "gcc" "tests/CMakeFiles/os_test.dir/os/wait_queue_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/diablo_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/diablo_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/diablo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/diablo_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_test.dir/os/cpu_test.cc.o"
+  "CMakeFiles/os_test.dir/os/cpu_test.cc.o.d"
+  "CMakeFiles/os_test.dir/os/epoll_test.cc.o"
+  "CMakeFiles/os_test.dir/os/epoll_test.cc.o.d"
+  "CMakeFiles/os_test.dir/os/kernel_detail_test.cc.o"
+  "CMakeFiles/os_test.dir/os/kernel_detail_test.cc.o.d"
+  "CMakeFiles/os_test.dir/os/multicore_test.cc.o"
+  "CMakeFiles/os_test.dir/os/multicore_test.cc.o.d"
+  "CMakeFiles/os_test.dir/os/tcp_loss_test.cc.o"
+  "CMakeFiles/os_test.dir/os/tcp_loss_test.cc.o.d"
+  "CMakeFiles/os_test.dir/os/tcp_property_test.cc.o"
+  "CMakeFiles/os_test.dir/os/tcp_property_test.cc.o.d"
+  "CMakeFiles/os_test.dir/os/tcp_test.cc.o"
+  "CMakeFiles/os_test.dir/os/tcp_test.cc.o.d"
+  "CMakeFiles/os_test.dir/os/udp_test.cc.o"
+  "CMakeFiles/os_test.dir/os/udp_test.cc.o.d"
+  "CMakeFiles/os_test.dir/os/wait_queue_test.cc.o"
+  "CMakeFiles/os_test.dir/os/wait_queue_test.cc.o.d"
+  "os_test"
+  "os_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switchm_test.dir/switchm/buffer_manager_test.cc.o"
+  "CMakeFiles/switchm_test.dir/switchm/buffer_manager_test.cc.o.d"
+  "CMakeFiles/switchm_test.dir/switchm/circuit_switch_test.cc.o"
+  "CMakeFiles/switchm_test.dir/switchm/circuit_switch_test.cc.o.d"
+  "CMakeFiles/switchm_test.dir/switchm/output_queue_switch_test.cc.o"
+  "CMakeFiles/switchm_test.dir/switchm/output_queue_switch_test.cc.o.d"
+  "CMakeFiles/switchm_test.dir/switchm/switch_property_test.cc.o"
+  "CMakeFiles/switchm_test.dir/switchm/switch_property_test.cc.o.d"
+  "CMakeFiles/switchm_test.dir/switchm/voq_switch_test.cc.o"
+  "CMakeFiles/switchm_test.dir/switchm/voq_switch_test.cc.o.d"
+  "switchm_test"
+  "switchm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switchm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diablo_run.dir/diablo_run.cc.o"
+  "CMakeFiles/diablo_run.dir/diablo_run.cc.o.d"
+  "diablo_run"
+  "diablo_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diablo_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incast_debug.dir/incast_debug.cc.o"
+  "CMakeFiles/incast_debug.dir/incast_debug.cc.o.d"
+  "incast_debug"
+  "incast_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incast_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_debug.dir/mc_debug.cc.o"
+  "CMakeFiles/mc_debug.dir/mc_debug.cc.o.d"
+  "mc_debug"
+  "mc_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
