@@ -1,0 +1,205 @@
+#ifndef DIABLO_BENCH_BENCH_JSON_HH_
+#define DIABLO_BENCH_BENCH_JSON_HH_
+
+/**
+ * @file
+ * JSON trajectory emitter for google-benchmark runs.
+ *
+ * Engine throughput is this project's headline number (the quantity
+ * DIABLO's FPGAs improve by two orders of magnitude), so each
+ * microbenchmark run is appended to a trajectory file — by default
+ * `BENCH_engine.json` in the working directory, overridable with the
+ * DIABLO_BENCH_JSON environment variable — as one JSON object per run:
+ *
+ *   [
+ *     { "label": "...", "unix_time": 1754550000,
+ *       "benchmarks": [
+ *         { "name": "BM_EventScheduleExecute",
+ *           "items_per_second": 6.8e7,
+ *           "real_ns_per_iter": 14.9,
+ *           "iterations": 47316258 }, ... ] },
+ *     ...
+ *   ]
+ *
+ * Future PRs compare their numbers against the trajectory instead of
+ * rediscovering the baseline.  An optional DIABLO_BENCH_LABEL names the
+ * run (e.g. a git revision).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace diablo {
+namespace bench_json {
+
+/** Collects per-benchmark results; append() writes the trajectory. */
+class TrajectoryReporter : public benchmark::BenchmarkReporter {
+  public:
+    bool
+    ReportContext(const Context &) override
+    {
+        return true;
+    }
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.run_type != Run::RT_Iteration) {
+                continue; // skip aggregates
+            }
+            Entry e;
+            e.name = run.benchmark_name();
+            e.iterations = static_cast<uint64_t>(run.iterations);
+            if (run.iterations > 0) {
+                e.real_ns_per_iter = run.real_accumulated_time * 1e9 /
+                                     static_cast<double>(run.iterations);
+            }
+            auto it = run.counters.find("items_per_second");
+            if (it != run.counters.end()) {
+                e.items_per_second = it->second.value;
+            }
+            entries_.push_back(std::move(e));
+        }
+    }
+
+    /** Default trajectory path, honoring DIABLO_BENCH_JSON. */
+    static std::string
+    defaultPath()
+    {
+        const char *env = std::getenv("DIABLO_BENCH_JSON");
+        return env && *env ? env : "BENCH_engine.json";
+    }
+
+    /**
+     * Append this run as one object to the JSON array in @p path,
+     * creating the file if needed.  Returns false on I/O failure (the
+     * benchmark results were already printed; losing the trajectory
+     * entry is not fatal).
+     */
+    bool
+    append(const std::string &path) const
+    {
+        std::ostringstream obj;
+        obj << "  {\n";
+        const char *label = std::getenv("DIABLO_BENCH_LABEL");
+        if (label && *label) {
+            obj << "    \"label\": \"" << escape(label) << "\",\n";
+        }
+        obj << "    \"unix_time\": "
+            << static_cast<long long>(std::time(nullptr)) << ",\n"
+            << "    \"benchmarks\": [\n";
+        for (size_t i = 0; i < entries_.size(); ++i) {
+            const Entry &e = entries_[i];
+            obj << "      { \"name\": \"" << escape(e.name) << "\""
+                << ", \"items_per_second\": " << e.items_per_second
+                << ", \"real_ns_per_iter\": " << e.real_ns_per_iter
+                << ", \"iterations\": " << e.iterations << " }"
+                << (i + 1 < entries_.size() ? ",\n" : "\n");
+        }
+        obj << "    ]\n  }";
+
+        // Splice into the existing array (text-level append: strip the
+        // trailing ']' and re-close), or start a fresh array.
+        std::string existing;
+        {
+            std::ifstream in(path);
+            if (in) {
+                std::ostringstream ss;
+                ss << in.rdbuf();
+                existing = ss.str();
+            }
+        }
+        const size_t close = existing.find_last_of(']');
+        std::ofstream out(path, std::ios::trunc);
+        if (!out) {
+            return false;
+        }
+        if (close == std::string::npos) {
+            out << "[\n" << obj.str() << "\n]\n";
+        } else {
+            std::string head = existing.substr(0, close);
+            while (!head.empty() &&
+                   (head.back() == '\n' || head.back() == ' ')) {
+                head.pop_back();
+            }
+            out << head << ",\n" << obj.str() << "\n]\n";
+        }
+        return static_cast<bool>(out);
+    }
+
+  private:
+    struct Entry {
+        std::string name;
+        double items_per_second = 0;
+        double real_ns_per_iter = 0;
+        uint64_t iterations = 0;
+    };
+
+    static std::string
+    escape(const std::string &s)
+    {
+        std::string r;
+        r.reserve(s.size());
+        for (char c : s) {
+            if (c == '"' || c == '\\') {
+                r.push_back('\\');
+            }
+            r.push_back(c);
+        }
+        return r;
+    }
+
+    std::vector<Entry> entries_;
+};
+
+/**
+ * Display reporter that forwards to two reporters — lets the trajectory
+ * collector ride along with normal console output without requiring
+ * --benchmark_out.
+ */
+class TeeReporter : public benchmark::BenchmarkReporter {
+  public:
+    TeeReporter(benchmark::BenchmarkReporter &a,
+                benchmark::BenchmarkReporter &b)
+        : a_(a), b_(b)
+    {
+    }
+
+    bool
+    ReportContext(const Context &context) override
+    {
+        const bool ra = a_.ReportContext(context);
+        const bool rb = b_.ReportContext(context);
+        return ra && rb;
+    }
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        a_.ReportRuns(runs);
+        b_.ReportRuns(runs);
+    }
+
+    void
+    Finalize() override
+    {
+        a_.Finalize();
+        b_.Finalize();
+    }
+
+  private:
+    benchmark::BenchmarkReporter &a_;
+    benchmark::BenchmarkReporter &b_;
+};
+
+} // namespace bench_json
+} // namespace diablo
+
+#endif // DIABLO_BENCH_BENCH_JSON_HH_

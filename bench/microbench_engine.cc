@@ -9,9 +9,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "bench/bench_json.hh"
 #include "core/random.hh"
 #include "core/simulator.hh"
 #include "core/stats.hh"
+#include "fame/partition.hh"
 #include "net/link.hh"
 #include "switchm/voq_switch.hh"
 
@@ -49,7 +53,34 @@ BM_EventQueueDepth(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations() * depth);
 }
-BENCHMARK(BM_EventQueueDepth)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_EventQueueDepth)->Arg(1024)->Arg(65536)->Arg(262144);
+
+void
+BM_EventCancelHeavy(benchmark::State &state)
+{
+    // Cancellation-heavy churn: schedule a batch, cancel every other
+    // event, run the rest.  Exercises the tombstone path (cancel is
+    // O(1); the heap prunes lazily at pop time).
+    const int depth = static_cast<int>(state.range(0));
+    std::vector<EventId> ids;
+    ids.reserve(static_cast<size_t>(depth));
+    for (auto _ : state) {
+        Simulator sim;
+        int64_t n = 0;
+        ids.clear();
+        for (int i = 0; i < depth; ++i) {
+            ids.push_back(sim.schedule(SimTime::ns(i % 251 + 1),
+                                       [&n] { ++n; }));
+        }
+        for (int i = 0; i < depth; i += 2) {
+            sim.cancel(ids[static_cast<size_t>(i)]);
+        }
+        sim.run();
+        benchmark::DoNotOptimize(n);
+    }
+    state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_EventCancelHeavy)->Arg(4096);
 
 Task<>
 sleeperLoop(Simulator &sim, int rounds)
@@ -70,6 +101,64 @@ BM_CoroutineSleepWake(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_CoroutineSleepWake);
+
+/**
+ * Sparse cross-partition ping-pong: one message per millisecond through
+ * channels with 1 us lookahead.  Without quantum skipping the barrier
+ * scheduler spins ~1000 empty quanta per hop; with it, one per hop.
+ */
+struct PingPong {
+    explicit PingPong(fame::PartitionSet &ps) : ps(ps)
+    {
+        c01 = &ps.makeChannel(0, 1, 1_us);
+        c10 = &ps.makeChannel(1, 0, 1_us);
+    }
+
+    void
+    onToken(size_t part, int remaining)
+    {
+        ++hops;
+        if (remaining <= 0) {
+            return;
+        }
+        Simulator &sim = ps.partition(part);
+        auto *ch = part == 0 ? c01 : c10;
+        const size_t dst = 1 - part;
+        ch->post(sim.now() + 1_ms, [this, dst, remaining] {
+            onToken(dst, remaining - 1);
+        });
+    }
+
+    fame::PartitionSet &ps;
+    fame::PartitionSet::Channel *c01;
+    fame::PartitionSet::Channel *c10;
+    uint64_t hops = 0;
+};
+
+void
+BM_PartitionIdleQuanta(benchmark::State &state)
+{
+    const bool skip = state.range(0) != 0;
+    const int kHops = 50;
+    uint64_t quanta = 0;
+    for (auto _ : state) {
+        fame::PartitionSet ps(2);
+        PingPong pp(ps);
+        ps.setSkipIdleQuanta(skip);
+        ps.partition(0).schedule(SimTime(), [&pp] { pp.onToken(0, kHops); });
+        ps.runSequential(SimTime::ms(kHops + 2));
+        quanta = ps.quantaExecuted();
+        benchmark::DoNotOptimize(pp.hops);
+    }
+    state.counters["quanta"] =
+        benchmark::Counter(static_cast<double>(quanta));
+    state.SetItemsProcessed(state.iterations() * (kHops + 1));
+}
+BENCHMARK(BM_PartitionIdleQuanta)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"skip"})
+    ->Unit(benchmark::kMicrosecond);
 
 void
 BM_RngUniform(benchmark::State &state)
@@ -154,4 +243,25 @@ BENCHMARK(BM_SwitchForwarding);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main: console output as usual, plus a JSON trajectory entry
+// appended to BENCH_engine.json (see bench/bench_json.hh) so engine
+// throughput is tracked across PRs.
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    benchmark::ConsoleReporter console;
+    diablo::bench_json::TrajectoryReporter trajectory;
+    diablo::bench_json::TeeReporter tee(console, trajectory);
+    benchmark::RunSpecifiedBenchmarks(&tee);
+    const std::string path =
+        diablo::bench_json::TrajectoryReporter::defaultPath();
+    if (!trajectory.append(path)) {
+        fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    }
+    benchmark::Shutdown();
+    return 0;
+}

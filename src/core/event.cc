@@ -4,57 +4,24 @@
 
 namespace diablo {
 
-EventId
-EventQueue::schedule(SimTime when, EventFn fn, int8_t prio)
+// Cold paths only — the schedule/cancel/pop hot path is inline in
+// event.hh so the compiler can fuse it into the Simulator loop.
+
+uint32_t
+EventQueue::growSlots()
 {
-    uint64_t seq = next_seq_++;
-    heap_.push(Item{when, prio, seq});
-    pending_.emplace(seq, std::move(fn));
-    return EventId{seq};
+    // Payload encoding gives slots 31 bits (see HeapEntry).
+    if (slots_.size() >= (uint64_t{1} << 31)) {
+        panic("EventQueue: slot pool overflow");
+    }
+    slots_.emplace_back();
+    return static_cast<uint32_t>(slots_.size() - 1);
 }
 
 void
-EventQueue::cancel(EventId id)
+EventQueue::popEmptyPanic()
 {
-    if (!id.valid()) {
-        return;
-    }
-    pending_.erase(id.seq);
-    // The heap entry stays as a tombstone and is skipped at pop time.
-}
-
-void
-EventQueue::prune()
-{
-    while (!heap_.empty() && pending_.find(heap_.top().seq) ==
-                                 pending_.end()) {
-        heap_.pop();
-    }
-}
-
-SimTime
-EventQueue::nextTime()
-{
-    prune();
-    if (heap_.empty()) {
-        return SimTime::max();
-    }
-    return heap_.top().when;
-}
-
-std::pair<SimTime, EventFn>
-EventQueue::popNext()
-{
-    prune();
-    if (heap_.empty()) {
-        panic("EventQueue::popNext on empty queue");
-    }
-    Item item = heap_.top();
-    heap_.pop();
-    auto it = pending_.find(item.seq);
-    EventFn fn = std::move(it->second);
-    pending_.erase(it);
-    return {item.when, std::move(fn)};
+    panic("EventQueue::popNext on empty queue");
 }
 
 } // namespace diablo

@@ -79,16 +79,10 @@ Simulator::runBefore(SimTime t)
 }
 
 void
-Simulator::executeNext()
+Simulator::timeWentBackwards(SimTime when) const
 {
-    auto [when, fn] = queue_.popNext();
-    if (when < now_) {
-        panic("event time went backwards: %s < %s",
-              when.str().c_str(), now_.str().c_str());
-    }
-    now_ = when;
-    ++executed_;
-    fn();
+    panic("event time went backwards: %s < %s",
+          when.str().c_str(), now_.str().c_str());
 }
 
 } // namespace diablo

@@ -40,11 +40,41 @@ class Simulator {
         return queue_.schedule(now_ + delay, std::move(fn), prio);
     }
 
+    /**
+     * Emplace overload: a lambda (or any non-EventFn callable) is
+     * constructed directly in its queue slot, skipping the intermediate
+     * EventFn moves.  Overload resolution picks this for raw callables
+     * and the EventFn overload for pre-built callbacks, so call sites
+     * get the fast path with no change.
+     */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::remove_cvref_t<F>, EventFn> &&
+                  std::is_invocable_r_v<void, std::remove_cvref_t<F> &>>>
+    EventId
+    schedule(SimTime delay, F &&fn, int8_t prio = event_prio::kDefault)
+    {
+        return queue_.scheduleEmplace(now_ + delay, prio,
+                                      std::forward<F>(fn));
+    }
+
     /** Schedule a callback at absolute time @p when (must be >= now). */
     EventId scheduleAt(SimTime when, EventFn fn,
                        int8_t prio = event_prio::kDefault);
 
     void cancel(EventId id) { queue_.cancel(id); }
+
+    /**
+     * Coroutine-wakeup fast path: resume @p h after @p delay, at wakeup
+     * priority.  The raw handle is scheduled through the queue's
+     * dedicated path — no callback object, no slot, no allocation.
+     * Wakeups are not cancellable; the returned id is always invalid.
+     */
+    EventId
+    scheduleWakeup(SimTime delay, std::coroutine_handle<> h)
+    {
+        return queue_.scheduleWakeup(now_ + delay, h);
+    }
 
     /**
      * Adopt a root coroutine task and start it at the current time (via
@@ -62,7 +92,7 @@ class Simulator {
         void
         await_suspend(std::coroutine_handle<> h)
         {
-            sim.schedule(delay, [h] { h.resume(); }, event_prio::kWakeup);
+            sim.scheduleWakeup(delay, h);
         }
 
         void await_resume() const noexcept {}
@@ -98,7 +128,23 @@ class Simulator {
     SimTime nextEventTime() { return queue_.nextTime(); }
 
     /** Execute exactly one event (caller checked one is pending). */
-    void executeNext();
+    void
+    executeNext()
+    {
+        EventFn fn;
+        std::coroutine_handle<> coro{};
+        const SimTime when = queue_.popNextInto(fn, coro);
+        if (when < now_) {
+            timeWentBackwards(when);
+        }
+        now_ = when;
+        ++executed_;
+        if (coro) {
+            coro.resume();
+        } else {
+            fn();
+        }
+    }
 
     bool idle() { return queue_.empty(); }
 
@@ -107,6 +153,7 @@ class Simulator {
 
   private:
     void sweepTasks();
+    [[noreturn]] void timeWentBackwards(SimTime when) const;
 
     EventQueue queue_;
     SimTime now_;
@@ -145,8 +192,7 @@ class OneShot {
         if (waiter_) {
             auto h = waiter_;
             waiter_ = nullptr;
-            sim_.schedule(SimTime(), [h] { h.resume(); },
-                          event_prio::kWakeup);
+            sim_.scheduleWakeup(SimTime(), h);
         }
     }
 

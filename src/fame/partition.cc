@@ -10,7 +10,7 @@ namespace diablo {
 namespace fame {
 
 void
-PartitionSet::Channel::post(SimTime when, std::function<void()> fn)
+PartitionSet::Channel::post(SimTime when, EventFn fn)
 {
     pending_.push_back(Msg{when, std::move(fn)});
 }
@@ -47,17 +47,35 @@ PartitionSet::makeChannel(size_t src, size_t dst, SimTime min_latency)
     return *channels_.back();
 }
 
+void
+PartitionSet::setQuantum(SimTime q)
+{
+    if (q < SimTime()) {
+        fatal("PartitionSet: quantum must be positive");
+    }
+    quantum_override_ = q;
+}
+
 SimTime
 PartitionSet::quantum() const
 {
-    SimTime q = SimTime::max();
+    SimTime min_latency = SimTime::max();
     for (const auto &ch : channels_) {
-        q = std::min(q, ch->min_latency_);
+        min_latency = std::min(min_latency, ch->min_latency_);
     }
-    if (q == SimTime::max()) {
-        q = SimTime::ms(1); // no channels: partitions are independent
+    if (quantum_override_ > SimTime()) {
+        if (quantum_override_ > min_latency) {
+            fatal("PartitionSet: quantum override %s exceeds minimum "
+                  "channel latency %s (breaks conservative lookahead)",
+                  quantum_override_.str().c_str(),
+                  min_latency.str().c_str());
+        }
+        return quantum_override_;
     }
-    return q;
+    if (min_latency == SimTime::max()) {
+        return kNoChannelQuantum; // no channels: partitions independent
+    }
+    return min_latency;
 }
 
 void
@@ -79,12 +97,50 @@ PartitionSet::drainChannels()
     }
 }
 
+SimTime
+PartitionSet::earliestPendingTime()
+{
+    SimTime earliest = SimTime::max();
+    for (auto &p : parts_) {
+        earliest = std::min(earliest, p->nextEventTime());
+    }
+    for (const auto &ch : channels_) {
+        for (const auto &msg : ch->pending_) {
+            earliest = std::min(earliest, msg.when);
+        }
+    }
+    return earliest;
+}
+
+SimTime
+PartitionSet::nextWindowStart(SimTime t, SimTime q, SimTime until)
+{
+    if (!skip_idle_) {
+        return t;
+    }
+    const SimTime earliest = earliestPendingTime();
+    if (earliest >= until) {
+        return until; // nothing left before the horizon
+    }
+    if (earliest < t + q) {
+        return t; // current window has work; no skip
+    }
+    // Snap down to the quantum grid so the skipped run executes the
+    // exact same window sequence a patient unskipped run would.
+    const SimTime snapped = earliest - (earliest % q);
+    return std::max(t, snapped);
+}
+
 void
 PartitionSet::runSequential(SimTime until)
 {
     const SimTime q = quantum();
     SimTime t;
     while (t < until) {
+        t = nextWindowStart(t, q, until);
+        if (t >= until) {
+            break;
+        }
         const SimTime bound = std::min(t + q, until);
         for (auto &p : parts_) {
             p->runBefore(bound);
@@ -101,16 +157,19 @@ PartitionSet::runParallel(SimTime until)
     const SimTime q = quantum();
     const size_t n = parts_.size();
 
-    SimTime t;
+    SimTime t = nextWindowStart(SimTime(), q, until);
     SimTime bound = std::min(t + q, until);
     bool done = t >= until;
 
     // Completion step runs on the last thread arriving at the barrier:
-    // drain channels and advance the window, single-threaded.
+    // drain channels and advance (possibly skipping idle quanta),
+    // single-threaded.  The same nextWindowStart rule as runSequential
+    // keeps the window sequence — and thus all results — identical.
     auto on_phase_end = [&]() noexcept {
         drainChannels();
         t = bound;
         ++quanta_;
+        t = nextWindowStart(t, q, until);
         bound = std::min(t + q, until);
         if (t >= until) {
             done = true;
@@ -122,12 +181,9 @@ PartitionSet::runParallel(SimTime until)
     workers.reserve(n);
     for (size_t i = 0; i < n; ++i) {
         workers.emplace_back([this, i, &barrier, &bound, &done] {
-            while (true) {
+            while (!done) {
                 parts_[i]->runBefore(bound);
                 barrier.arrive_and_wait();
-                if (done) {
-                    return;
-                }
             }
         });
     }

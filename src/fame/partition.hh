@@ -19,10 +19,23 @@
  * parallel run produces *identical* results to the sequential reference
  * (see fame tests), mirroring DIABLO's repeatable experiments across
  * its multi-FPGA deployment.
+ *
+ * Quantum skipping: warehouse-scale workloads are bursty — activity
+ * clusters (an incast burst, a memcached request wave) separated by long
+ * idle stretches.  Spinning a barrier per quantum through idle time is
+ * pure synchronization tax (the dominant cost SimBricks identifies in
+ * quantum-synchronized simulation).  At each window boundary the engine
+ * therefore inspects the earliest pending event / in-flight message
+ * across all partitions; if the next window would be empty it jumps the
+ * clock forward to the window containing that event, snapped to the
+ * quantum grid.  Because nothing can happen in the skipped windows (no
+ * local events, and messages only originate from executing events), the
+ * executed-event sequence — and thus every result — is bit-identical to
+ * the unskipped run.  Both runSequential and runParallel apply the same
+ * skip rule, so parallel ≡ sequential continues to hold exactly.
  */
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -34,6 +47,16 @@ namespace fame {
 /** A set of lockstep simulation partitions. */
 class PartitionSet {
   public:
+    /**
+     * Synchronization quantum used when no channels exist.  Isolated
+     * partitions have no lookahead constraint, so any positive quantum
+     * is semantically valid; 1 ms keeps barrier overhead negligible
+     * while bounding how far partitions drift from the horizon check.
+     * Override with setQuantum() when a different granularity matters
+     * (e.g. benchmarking barrier cost itself).
+     */
+    static constexpr SimTime kNoChannelQuantum = SimTime::ms(1);
+
     /** Unidirectional cross-partition message channel. */
     class Channel {
       public:
@@ -43,7 +66,7 @@ class PartitionSet {
          * @p when must respect the channel latency (>= now + latency),
          * which guarantees it lands in a future quantum.
          */
-        void post(SimTime when, std::function<void()> fn);
+        void post(SimTime when, EventFn fn);
 
         SimTime minLatency() const { return min_latency_; }
 
@@ -52,7 +75,7 @@ class PartitionSet {
 
         struct Msg {
             SimTime when;
-            std::function<void()> fn;
+            EventFn fn;
         };
 
         PartitionSet *owner_ = nullptr;
@@ -78,8 +101,27 @@ class PartitionSet {
      */
     Channel &makeChannel(size_t src, size_t dst, SimTime min_latency);
 
-    /** Synchronization quantum (lookahead). */
+    /**
+     * Synchronization quantum (lookahead): the explicit override if one
+     * was set, else the minimum channel latency, else kNoChannelQuantum.
+     */
     SimTime quantum() const;
+
+    /**
+     * Override the synchronization quantum.  Must be positive, and — to
+     * keep the engine conservative — no larger than the minimum channel
+     * latency at run time (checked in quantum(), so channels may be
+     * added after the override is set).  Pass SimTime() to clear.
+     */
+    void setQuantum(SimTime q);
+
+    /**
+     * Enable/disable empty-quantum skipping (default: enabled).  Only
+     * wall-clock behaviour changes; simulated results are identical.
+     * Disabling is useful for measuring raw barrier cost.
+     */
+    void setSkipIdleQuanta(bool skip) { skip_idle_ = skip; }
+    bool skipIdleQuanta() const { return skip_idle_; }
 
     /**
      * Advance all partitions to @p until using one host thread per
@@ -90,7 +132,11 @@ class PartitionSet {
     /** Reference implementation: same semantics, one host thread. */
     void runSequential(SimTime until);
 
-    /** Barriers executed (quanta), for the scaling benchmark. */
+    /**
+     * Barriers executed (quanta), for the scaling benchmark.  With
+     * skipping enabled, empty windows are jumped over and not counted;
+     * the count is identical between sequential and parallel runs.
+     */
     uint64_t quantaExecuted() const { return quanta_; }
 
     uint64_t totalExecutedEvents() const;
@@ -98,8 +144,21 @@ class PartitionSet {
   private:
     void drainChannels();
 
+    /** Earliest pending local event or undelivered channel message. */
+    SimTime earliestPendingTime();
+
+    /**
+     * Start of the next window that can contain work: @p t itself when
+     * skipping is off or work exists in [t, t+q); otherwise the earliest
+     * pending time snapped down to the quantum grid, clamped to
+     * [@p t, @p until].
+     */
+    SimTime nextWindowStart(SimTime t, SimTime q, SimTime until);
+
     std::vector<std::unique_ptr<Simulator>> parts_;
     std::vector<std::unique_ptr<Channel>> channels_;
+    SimTime quantum_override_;
+    bool skip_idle_ = true;
     uint64_t quanta_ = 0;
 };
 

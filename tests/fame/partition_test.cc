@@ -155,6 +155,69 @@ TEST(PartitionSet, CausalityViolationPanics)
                  "causality violation");
 }
 
+TEST(PartitionSet, NoChannelQuantumDefaultAndOverride)
+{
+    PartitionSet ps(2); // no channels: explicit, documented default
+    EXPECT_EQ(ps.quantum(), PartitionSet::kNoChannelQuantum);
+    ps.setQuantum(SimTime::us(10));
+    EXPECT_EQ(ps.quantum(), SimTime::us(10));
+    ps.setQuantum(SimTime()); // clear the override
+    EXPECT_EQ(ps.quantum(), PartitionSet::kNoChannelQuantum);
+}
+
+TEST(PartitionSet, QuantumOverrideExceedingLookaheadPanics)
+{
+    PartitionSet ps(2);
+    ps.makeChannel(0, 1, 2_us);
+    ps.setQuantum(5_us); // larger than the 2 us lookahead
+    EXPECT_DEATH(ps.runSequential(SimTime::us(100)),
+                 "exceeds minimum channel latency");
+}
+
+TEST(PartitionSet, QuantumSkippingPreservesDeterminism)
+{
+    // Clustered workload — bursts at t=0 and t=50ms separated by ~50k
+    // idle 1 us quanta, exactly the shape quantum skipping accelerates.
+    // Sequential, parallel, and unskipped runs must agree event-for-event.
+    auto run = [](bool parallel, bool skip) {
+        PartitionSet ps(4);
+        RingWorkload w(ps, 1_us);
+        for (size_t i = 0; i < 4; ++i) {
+            w.inject(i, 1 + i, 8);
+        }
+        for (size_t i = 0; i < 4; ++i) {
+            ps.partition(i).schedule(SimTime::ms(50), [&w, i] {
+                w.onToken(i, 900 + i, 8);
+            });
+        }
+        ps.setSkipIdleQuanta(skip);
+        if (parallel) {
+            ps.runParallel(SimTime::ms(60));
+        } else {
+            ps.runSequential(SimTime::ms(60));
+        }
+        struct Result {
+            uint64_t checksum;
+            uint64_t executed;
+            uint64_t quanta;
+        };
+        return Result{w.globalChecksum(), ps.totalExecutedEvents(),
+                      ps.quantaExecuted()};
+    };
+
+    const auto seq = run(false, true);
+    const auto par = run(true, true);
+    EXPECT_EQ(seq.checksum, par.checksum);
+    EXPECT_EQ(seq.executed, par.executed);
+    EXPECT_EQ(seq.quanta, par.quanta);
+
+    // Skipping changes wall-clock only: same results, far fewer quanta.
+    const auto noskip = run(false, false);
+    EXPECT_EQ(seq.checksum, noskip.checksum);
+    EXPECT_EQ(seq.executed, noskip.executed);
+    EXPECT_LT(seq.quanta, noskip.quanta / 100);
+}
+
 TEST(PartitionSet, IndependentPartitionsRunToHorizon)
 {
     PartitionSet ps(3); // no channels
