@@ -69,12 +69,15 @@ class TrajectoryReporter : public benchmark::BenchmarkReporter {
         }
     }
 
-    /** Default trajectory path, honoring DIABLO_BENCH_JSON. */
+    /**
+     * Default trajectory path, honoring DIABLO_BENCH_JSON; @p fallback
+     * lets each microbenchmark binary keep its own trajectory file.
+     */
     static std::string
-    defaultPath()
+    defaultPath(const char *fallback = "BENCH_engine.json")
     {
         const char *env = std::getenv("DIABLO_BENCH_JSON");
-        return env && *env ? env : "BENCH_engine.json";
+        return env && *env ? env : fallback;
     }
 
     /**

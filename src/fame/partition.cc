@@ -1,8 +1,6 @@
 #include "fame/partition.hh"
 
 #include <algorithm>
-#include <barrier>
-#include <thread>
 
 #include "core/log.hh"
 
@@ -12,6 +10,20 @@ namespace fame {
 void
 PartitionSet::Channel::post(SimTime when, EventFn fn)
 {
+    // Conservative contract, checked at the source: a post below
+    // now + min_latency means the wiring advertised more lookahead than
+    // the model really has.  Catch it here, where the offending channel
+    // and times are known, instead of as a drain-time causality panic
+    // (or worse, a message landing exactly on the destination clock and
+    // silently executing one quantum late).
+    const SimTime now = owner_->parts_[src_]->now();
+    if (when < now + min_latency_) {
+        panic("PartitionSet: channel %s: post(when=%s) violates "
+              "conservative contract: src partition %zu clock %s + "
+              "min latency %s (causality violation)",
+              name_.c_str(), when.str().c_str(), src_,
+              now.str().c_str(), min_latency_.str().c_str());
+    }
     pending_.push_back(Msg{when, std::move(fn)});
 }
 
@@ -24,12 +36,24 @@ PartitionSet::PartitionSet(size_t n)
     for (size_t i = 0; i < n; ++i) {
         parts_.push_back(std::make_unique<Simulator>());
     }
+    last_run_executed_.assign(n, 0);
 }
 
-PartitionSet::~PartitionSet() = default;
+PartitionSet::~PartitionSet()
+{
+    {
+        std::lock_guard<std::mutex> lk(pool_mu_);
+        pool_shutdown_ = true;
+    }
+    pool_work_cv_.notify_all();
+    for (auto &w : pool_) {
+        w.join();
+    }
+}
 
 PartitionSet::Channel &
-PartitionSet::makeChannel(size_t src, size_t dst, SimTime min_latency)
+PartitionSet::makeChannel(size_t src, size_t dst, SimTime min_latency,
+                          std::string name)
 {
     if (src >= parts_.size() || dst >= parts_.size()) {
         fatal("PartitionSet: channel endpoints out of range");
@@ -43,6 +67,10 @@ PartitionSet::makeChannel(size_t src, size_t dst, SimTime min_latency)
     ch->src_ = src;
     ch->dst_ = dst;
     ch->min_latency_ = min_latency;
+    ch->name_ = name.empty()
+                    ? strprintf("ch%zu(%zu->%zu)", channels_.size(), src,
+                                dst)
+                    : std::move(name);
     channels_.push_back(std::move(ch));
     return *channels_.back();
 }
@@ -50,8 +78,10 @@ PartitionSet::makeChannel(size_t src, size_t dst, SimTime min_latency)
 void
 PartitionSet::setQuantum(SimTime q)
 {
-    if (q < SimTime()) {
-        fatal("PartitionSet: quantum must be positive");
+    if (q <= SimTime()) {
+        fatal("PartitionSet: quantum must be strictly positive (got %s); "
+              "use clearQuantum() to drop an override",
+              q.str().c_str());
     }
     quantum_override_ = q;
 }
@@ -87,9 +117,10 @@ PartitionSet::drainChannels()
         Simulator &dst = *parts_[ch->dst_];
         for (auto &msg : ch->pending_) {
             if (msg.when < dst.now()) {
-                panic("PartitionSet: causality violation (message at %s "
-                      "behind partition clock %s)",
-                      msg.when.str().c_str(), dst.now().str().c_str());
+                panic("PartitionSet: channel %s: causality violation "
+                      "(message at %s behind partition clock %s)",
+                      ch->name_.c_str(), msg.when.str().c_str(),
+                      dst.now().str().c_str());
             }
             dst.scheduleAt(msg.when, std::move(msg.fn));
         }
@@ -132,9 +163,49 @@ PartitionSet::nextWindowStart(SimTime t, SimTime q, SimTime until)
 }
 
 void
+PartitionSet::beginRunStats()
+{
+    run_start_quanta_ = quanta_;
+    for (size_t i = 0; i < parts_.size(); ++i) {
+        last_run_executed_[i] = parts_[i]->executedEvents();
+    }
+}
+
+void
+PartitionSet::endRunStats()
+{
+    last_run_quanta_ = quanta_ - run_start_quanta_;
+    for (size_t i = 0; i < parts_.size(); ++i) {
+        last_run_executed_[i] =
+            parts_[i]->executedEvents() - last_run_executed_[i];
+    }
+}
+
+uint64_t
+PartitionSet::lastRunTotalExecutedEvents() const
+{
+    uint64_t n = 0;
+    for (uint64_t e : last_run_executed_) {
+        n += e;
+    }
+    return n;
+}
+
+void
+PartitionSet::resetStats()
+{
+    quanta_ = 0;
+    run_start_quanta_ = 0;
+    last_run_quanta_ = 0;
+    std::fill(last_run_executed_.begin(), last_run_executed_.end(),
+              uint64_t{0});
+}
+
+void
 PartitionSet::runSequential(SimTime until)
 {
     const SimTime q = quantum();
+    beginRunStats();
     SimTime t;
     while (t < until) {
         t = nextWindowStart(t, q, until);
@@ -149,47 +220,108 @@ PartitionSet::runSequential(SimTime until)
         t = bound;
         ++quanta_;
     }
+    endRunStats();
+}
+
+void
+PartitionSet::parallelQuantumEnd() noexcept
+{
+    // Runs on the last worker arriving at the barrier, single-threaded
+    // (std::barrier sequences the completion step before releasing
+    // anyone).  Same nextWindowStart rule as runSequential, keeping the
+    // window sequence — and thus all results — identical.
+    drainChannels();
+    par_t_ = par_bound_;
+    ++quanta_;
+    par_t_ = nextWindowStart(par_t_, par_q_, par_until_);
+    par_bound_ = std::min(par_t_ + par_q_, par_until_);
+    if (par_t_ >= par_until_) {
+        par_done_ = true;
+    }
+}
+
+void
+PartitionSet::ensureWorkerPool()
+{
+    if (!pool_.empty()) {
+        return;
+    }
+    pool_.reserve(parts_.size());
+    for (size_t i = 0; i < parts_.size(); ++i) {
+        pool_.emplace_back([this, i] { workerLoop(i); });
+    }
+}
+
+void
+PartitionSet::workerLoop(size_t i)
+{
+    uint64_t seen_generation = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lk(pool_mu_);
+            pool_work_cv_.wait(lk, [&] {
+                return pool_shutdown_ ||
+                       pool_generation_ != seen_generation;
+            });
+            if (pool_shutdown_) {
+                return;
+            }
+            seen_generation = pool_generation_;
+        }
+        // Quantum loop.  par_done_/par_bound_ are safe to read: the
+        // initial values were published under pool_mu_, and every
+        // subsequent write happens in the barrier completion step,
+        // which strongly-happens-before the workers resume.
+        while (!par_done_) {
+            parts_[i]->runBefore(par_bound_);
+            par_barrier_->arrive_and_wait();
+        }
+        {
+            std::lock_guard<std::mutex> lk(pool_mu_);
+            if (--workers_running_ == 0) {
+                pool_idle_cv_.notify_all();
+            }
+        }
+    }
 }
 
 void
 PartitionSet::runParallel(SimTime until)
 {
     const SimTime q = quantum();
-    const size_t n = parts_.size();
-
-    SimTime t = nextWindowStart(SimTime(), q, until);
-    SimTime bound = std::min(t + q, until);
-    bool done = t >= until;
-
-    // Completion step runs on the last thread arriving at the barrier:
-    // drain channels and advance (possibly skipping idle quanta),
-    // single-threaded.  The same nextWindowStart rule as runSequential
-    // keeps the window sequence — and thus all results — identical.
-    auto on_phase_end = [&]() noexcept {
-        drainChannels();
-        t = bound;
-        ++quanta_;
-        t = nextWindowStart(t, q, until);
-        bound = std::min(t + q, until);
-        if (t >= until) {
-            done = true;
+    {
+        std::lock_guard<std::mutex> lk(pool_mu_);
+        if (run_active_) {
+            fatal("PartitionSet: runParallel re-entered while a parallel "
+                  "run's workers are live");
         }
-    };
-    std::barrier barrier(static_cast<std::ptrdiff_t>(n), on_phase_end);
+        run_active_ = true;
+    }
+    beginRunStats();
 
-    std::vector<std::thread> workers;
-    workers.reserve(n);
-    for (size_t i = 0; i < n; ++i) {
-        workers.emplace_back([this, i, &barrier, &bound, &done] {
-            while (!done) {
-                parts_[i]->runBefore(bound);
-                barrier.arrive_and_wait();
-            }
-        });
+    par_q_ = q;
+    par_until_ = until;
+    par_t_ = nextWindowStart(SimTime(), q, until);
+    par_bound_ = std::min(par_t_ + q, until);
+    par_done_ = par_t_ >= until;
+    par_barrier_.emplace(static_cast<std::ptrdiff_t>(parts_.size()),
+                         QuantumCompletion{this});
+
+    ensureWorkerPool();
+    {
+        std::lock_guard<std::mutex> lk(pool_mu_);
+        ++pool_generation_;
+        workers_running_ = parts_.size();
     }
-    for (auto &w : workers) {
-        w.join();
+    pool_work_cv_.notify_all();
+
+    {
+        std::unique_lock<std::mutex> lk(pool_mu_);
+        pool_idle_cv_.wait(lk, [&] { return workers_running_ == 0; });
+        run_active_ = false;
     }
+    par_barrier_.reset();
+    endRunStats();
 }
 
 uint64_t

@@ -33,10 +33,22 @@
  * executed-event sequence — and thus every result — is bit-identical to
  * the unskipped run.  Both runSequential and runParallel apply the same
  * skip rule, so parallel ≡ sequential continues to hold exactly.
+ *
+ * Host threads: runParallel drives one worker thread per partition from
+ * a pool created on first use and reused for every subsequent run (a
+ * 64-rack sharded cluster measured in windows would otherwise pay 65
+ * thread spawns per measurement window).  The pool is joined in the
+ * destructor.
  */
 
+#include <barrier>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <optional>
 #include <vector>
 
 #include "core/simulator.hh"
@@ -62,13 +74,21 @@ class PartitionSet {
       public:
         /**
          * Deliver @p fn in the destination partition at absolute time
-         * @p when.  Must be called from the source partition's events;
-         * @p when must respect the channel latency (>= now + latency),
-         * which guarantees it lands in a future quantum.
+         * @p when.  Must be called from the source partition's events,
+         * and @p when must respect the conservative contract
+         * `when >= src.now() + minLatency()`, which guarantees the
+         * message lands in a future quantum.  The contract is validated
+         * here, at post time, against the source partition's clock — a
+         * violation is a model-wiring bug (the advertised lookahead was
+         * larger than the real one) and panics immediately with the
+         * channel's name rather than surfacing later as an
+         * unattributable drain-time failure or a silently late
+         * delivery.
          */
         void post(SimTime when, EventFn fn);
 
         SimTime minLatency() const { return min_latency_; }
+        const std::string &name() const { return name_; }
 
       private:
         friend class PartitionSet;
@@ -82,6 +102,7 @@ class PartitionSet {
         size_t src_ = 0;
         size_t dst_ = 0;
         SimTime min_latency_;
+        std::string name_;
         std::vector<Msg> pending_;
     };
 
@@ -98,8 +119,11 @@ class PartitionSet {
      * Create a channel from partition @p src to @p dst whose messages
      * always arrive at least @p min_latency after they are posted.
      * The run quantum is the minimum such latency across all channels.
+     * @p name appears in contract-violation diagnostics; when empty, a
+     * "ch<i>(<src>-><dst>)" default is generated.
      */
-    Channel &makeChannel(size_t src, size_t dst, SimTime min_latency);
+    Channel &makeChannel(size_t src, size_t dst, SimTime min_latency,
+                         std::string name = std::string());
 
     /**
      * Synchronization quantum (lookahead): the explicit override if one
@@ -108,12 +132,17 @@ class PartitionSet {
     SimTime quantum() const;
 
     /**
-     * Override the synchronization quantum.  Must be positive, and — to
-     * keep the engine conservative — no larger than the minimum channel
-     * latency at run time (checked in quantum(), so channels may be
-     * added after the override is set).  Pass SimTime() to clear.
+     * Override the synchronization quantum.  Must be strictly positive
+     * (rejected otherwise), and — to keep the engine conservative — no
+     * larger than the minimum channel latency at run time (checked in
+     * quantum(), so channels may be added after the override is set).
+     * Use clearQuantum() to drop the override; a zero quantum is never
+     * a valid request, so it is no longer overloaded to mean "clear".
      */
     void setQuantum(SimTime q);
+
+    /** Remove a setQuantum() override and return to the derived value. */
+    void clearQuantum() { quantum_override_ = SimTime(); }
 
     /**
      * Enable/disable empty-quantum skipping (default: enabled).  Only
@@ -124,8 +153,10 @@ class PartitionSet {
     bool skipIdleQuanta() const { return skip_idle_; }
 
     /**
-     * Advance all partitions to @p until using one host thread per
-     * partition with barrier synchronization each quantum.
+     * Advance all partitions to @p until using one pooled worker thread
+     * per partition with barrier synchronization each quantum.  Not
+     * re-entrant: calling it again (from an event, or from another
+     * host thread) while a parallel run's workers are live is fatal.
      */
     void runParallel(SimTime until);
 
@@ -133,13 +164,43 @@ class PartitionSet {
     void runSequential(SimTime until);
 
     /**
-     * Barriers executed (quanta), for the scaling benchmark.  With
-     * skipping enabled, empty windows are jumped over and not counted;
-     * the count is identical between sequential and parallel runs.
+     * Cumulative barriers executed (quanta) across every run of this
+     * PartitionSet, for the scaling benchmark.  With skipping enabled,
+     * empty windows are jumped over and not counted; the count is
+     * identical between sequential and parallel runs.  Per-run deltas
+     * are available from lastRunQuanta(); resetStats() zeroes this.
      */
     uint64_t quantaExecuted() const { return quanta_; }
 
+    /** Cumulative executed events summed over all partitions. */
     uint64_t totalExecutedEvents() const;
+
+    // --- per-run statistics (the host-performance model's inputs) ---
+    //
+    // Both run engines snapshot counters on entry and publish deltas on
+    // exit, so interleaved runSequential/runParallel calls on one
+    // PartitionSet can be attributed individually: events per partition
+    // per run expose load imbalance (the FAME host model's utilization
+    // input), quanta per run expose synchronization intensity.
+
+    /** Quanta executed by the most recent run (either engine). */
+    uint64_t lastRunQuanta() const { return last_run_quanta_; }
+
+    /** Events executed by partition @p i during the most recent run. */
+    uint64_t lastRunExecutedEvents(size_t i) const
+    {
+        return last_run_executed_[i];
+    }
+
+    /** Events executed across all partitions during the most recent run. */
+    uint64_t lastRunTotalExecutedEvents() const;
+
+    /**
+     * Zero the cumulative quantum counter and the last-run deltas.
+     * (Executed-event totals are owned by the Simulators and stay
+     * cumulative; the per-run accessors above are already deltas.)
+     */
+    void resetStats();
 
   private:
     void drainChannels();
@@ -155,11 +216,55 @@ class PartitionSet {
      */
     SimTime nextWindowStart(SimTime t, SimTime q, SimTime until);
 
+    // --- per-run statistics bookkeeping ---
+    void beginRunStats();
+    void endRunStats();
+
+    // --- pooled parallel runner ---
+
+    /** Barrier completion step: drain, advance, possibly skip. */
+    void parallelQuantumEnd() noexcept;
+
+    struct QuantumCompletion {
+        PartitionSet *ps;
+        void operator()() noexcept { ps->parallelQuantumEnd(); }
+    };
+
+    void ensureWorkerPool();
+    void workerLoop(size_t i);
+
     std::vector<std::unique_ptr<Simulator>> parts_;
     std::vector<std::unique_ptr<Channel>> channels_;
     SimTime quantum_override_;
     bool skip_idle_ = true;
     uint64_t quanta_ = 0;
+
+    // Per-run stat deltas (see accessors above).
+    uint64_t run_start_quanta_ = 0;
+    uint64_t last_run_quanta_ = 0;
+    std::vector<uint64_t> last_run_executed_;
+
+    // Worker pool: one thread per partition, created on the first
+    // runParallel and parked between runs.  generation_ hands work to
+    // the pool; workers_running_ counts them back in.
+    std::vector<std::thread> pool_;
+    std::mutex pool_mu_;
+    std::condition_variable pool_work_cv_;
+    std::condition_variable pool_idle_cv_;
+    uint64_t pool_generation_ = 0;
+    size_t workers_running_ = 0;
+    bool pool_shutdown_ = false;
+    bool run_active_ = false;
+
+    // Shared state of the in-flight parallel run.  Written only by the
+    // barrier completion step (single-threaded by construction) or
+    // before workers are released; read by workers between barriers.
+    SimTime par_t_;
+    SimTime par_bound_;
+    SimTime par_until_;
+    SimTime par_q_;
+    bool par_done_ = false;
+    std::optional<std::barrier<QuantumCompletion>> par_barrier_;
 };
 
 } // namespace fame

@@ -46,10 +46,7 @@ Link::transmit(PacketPtr p)
             eth::kCutThroughHeaderBytes + eth::kPreambleBytes);
         deliver_at = std::min(arrive_first + header_time, arrive_last);
     }
-    Packet *raw = p.release();
-    sim_.scheduleAt(deliver_at, [this, raw] {
-        sink_->receive(PacketPtr(raw));
-    });
+    scheduleDelivery(deliver_at, std::move(p));
 
     // Notify the transmitter owner when the line frees up.
     if (tx_done_) {
@@ -60,6 +57,15 @@ Link::transmit(PacketPtr p)
         });
     }
     return tx_done;
+}
+
+void
+Link::scheduleDelivery(SimTime when, PacketPtr p)
+{
+    Packet *raw = p.release();
+    sim_.scheduleAt(when, [this, raw] {
+        deliverToSink(PacketPtr(raw));
+    });
 }
 
 double

@@ -40,6 +40,8 @@ class Link {
      */
     Link(Simulator &sim, std::string name, Bandwidth bw, SimTime prop);
 
+    virtual ~Link() = default;
+
     /** Attach the receiving endpoint; must be called before transmit. */
     void connectTo(PacketSink &sink) { sink_ = &sink; }
 
@@ -71,6 +73,19 @@ class Link {
 
     /** Fraction of elapsed sim time the transmitter was busy. */
     double utilization() const;
+
+  protected:
+    /**
+     * Schedule the handoff of @p p to the attached sink at absolute
+     * time @p when.  The default implementation stays inside the
+     * transmitter's own simulation partition; ChannelLink overrides it
+     * to carry the delivery across a partition boundary.  Transmit-side
+     * bookkeeping (serialization occupancy, tx-done) never crosses.
+     */
+    virtual void scheduleDelivery(SimTime when, PacketPtr p);
+
+    /** Hand @p p to the sink; runs in the delivering partition. */
+    void deliverToSink(PacketPtr p) { sink_->receive(std::move(p)); }
 
   private:
     Simulator &sim_;

@@ -1,6 +1,7 @@
 #include "sim/cluster.hh"
 
 #include "core/log.hh"
+#include "net/channel_link.hh"
 
 namespace diablo {
 namespace sim {
@@ -69,27 +70,109 @@ ClusterParams::applyConfig(const Config &cfg)
     seed = cfg.getUint("seed", seed);
 }
 
+size_t
+Cluster::partitionsRequired(const ClusterParams &params)
+{
+    const uint32_t racks =
+        params.topo.racks_per_array * params.topo.num_arrays;
+    // A single-rack array is just a ToR: no aggregation levels, so no
+    // switch partition (and no cross-partition channels at all).
+    return racks + (racks > 1 ? 1 : 0);
+}
+
 Cluster::Cluster(Simulator &sim, const ClusterParams &params)
-    : sim_(sim), params_(params), rng_(params.seed)
+    : sim_(&sim), params_(params), rng_(params.seed)
 {
     network_ = std::make_unique<topo::ClosNetwork>(sim, params_.topo);
+    buildServers();
+}
+
+Cluster::Cluster(fame::PartitionSet &ps, const ClusterParams &params)
+    : ps_(&ps), params_(params), rng_(params.seed)
+{
+    const uint32_t racks = numRacks();
+    const size_t need = partitionsRequired(params_);
+    if (ps.size() != need) {
+        fatal("Cluster: sharded build of %u racks needs %zu partitions "
+              "(one per rack%s), got %zu",
+              racks, need, racks > 1 ? " + 1 for the switch levels" : "",
+              ps.size());
+    }
+
+    // Rack r -> partition r; array/datacenter switches -> partition
+    // `racks` (the Switch-FPGA analog).  The only cross-partition edges
+    // are the ToR<->array trunks; each becomes a ChannelLink over its
+    // own channel, with the channel's conservative lookahead set to the
+    // trunk's minimum transmit-to-delivery latency (propagation +
+    // forwarding-header serialization).  That minimum across all trunks
+    // is the PartitionSet's synchronization quantum.
+    topo::ClosPartitionHooks hooks;
+    hooks.rack_sim = [&ps](uint32_t rack) -> Simulator & {
+        return ps.partition(rack);
+    };
+    hooks.switch_sim = &ps.partition(racks > 1 ? racks : 0);
+    hooks.make_cross_link =
+        [&ps, racks](uint32_t rack, bool up, const std::string &name,
+                     Bandwidth bw, SimTime prop)
+        -> std::unique_ptr<net::Link> {
+        const size_t switch_part = racks;
+        const size_t src = up ? rack : switch_part;
+        const size_t dst = up ? switch_part : rack;
+        fame::PartitionSet::Channel &ch = ps.makeChannel(
+            src, dst, net::ChannelLink::minDeliveryLatency(bw, prop),
+            name);
+        return std::make_unique<net::ChannelLink>(
+            ps.partition(src), name, bw, prop,
+            [&ch](SimTime when, EventFn fn) {
+                ch.post(when, std::move(fn));
+            });
+    };
+    network_ = std::make_unique<topo::ClosNetwork>(hooks, params_.topo);
+    buildServers();
+}
+
+Simulator &
+Cluster::sim()
+{
+    if (sim_ == nullptr) {
+        fatal("Cluster::sim(): a sharded cluster has no single "
+              "simulator; use kernel(node).sim() or drive the "
+              "PartitionSet");
+    }
+    return *sim_;
+}
+
+Simulator &
+Cluster::simForRack(uint32_t rack)
+{
+    return ps_ != nullptr ? ps_->partition(rack) : *sim_;
+}
+
+void
+Cluster::buildServers()
+{
     const uint32_t n = network_->totalServers();
     servers_.resize(n);
 
     for (uint32_t node = 0; node < n; ++node) {
         ServerNode &s = servers_[node];
+        // Every per-server model element lives in the server's rack
+        // partition; its NIC uplink terminates at the ToR, which is in
+        // the same partition, so the uplink is an ordinary Link.
+        Simulator &rsim =
+            simForRack(node / params_.topo.servers_per_rack);
         topo::ClosNetwork *net = network_.get();
         s.kernel = std::make_unique<os::Kernel>(
-            sim, node, params_.cpu, params_.kernel_profile,
+            rsim, node, params_.cpu, params_.kernel_profile,
             [net, node](net::NodeId dst) { return net->route(node, dst); });
         s.kernel->setTcpParams(params_.tcp);
 
         s.nic = std::make_unique<nic::NicModel>(
-            sim, strprintf("nic%u", node), params_.nic);
+            rsim, strprintf("nic%u", node), params_.nic);
         s.nic->attachKernel(*s.kernel);
 
         s.uplink = std::make_unique<net::Link>(
-            sim, strprintf("srv%u.up", node), params_.topo.host_bw,
+            rsim, strprintf("srv%u.up", node), params_.topo.host_bw,
             params_.topo.host_link_prop);
         s.uplink->connectTo(network_->serverIngress(node));
         s.nic->attachTxLink(*s.uplink);

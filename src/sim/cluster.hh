@@ -20,6 +20,19 @@
  *   cluster.kernel(0).spawnProcess(myServerApp(cluster.kernel(0)));
  *   sim.run();
  * @endcode
+ *
+ * Sharded use — the paper's Rack-FPGA/Switch-FPGA partitioning (§3.2):
+ * each rack (servers, NICs, uplinks, ToR) maps to its own partition of
+ * a fame::PartitionSet, the array/datacenter switch levels to one
+ * additional switch partition, and the ToR<->array trunks become
+ * net::ChannelLinks over PartitionSet channels whose lookahead is the
+ * trunk propagation + header serialization time:
+ * @code
+ *   fame::PartitionSet ps(sim::Cluster::partitionsRequired(params));
+ *   sim::Cluster cluster(ps, params);
+ *   cluster.kernel(0).spawnProcess(myServerApp(cluster.kernel(0)));
+ *   ps.runParallel(SimTime::sec(1));   // or runSequential: identical
+ * @endcode
  */
 
 #include <memory>
@@ -28,6 +41,7 @@
 #include "core/config.hh"
 #include "core/random.hh"
 #include "core/simulator.hh"
+#include "fame/partition.hh"
 #include "nic/nic_model.hh"
 #include "os/kernel.hh"
 #include "topo/clos.hh"
@@ -63,14 +77,48 @@ struct ClusterParams {
 /** A wired WSC array: fabric + servers. */
 class Cluster {
   public:
+    /** Single-partition build: the whole array on one Simulator. */
     Cluster(Simulator &sim, const ClusterParams &params);
+
+    /**
+     * Sharded build over a conservative-parallel PartitionSet: rack r's
+     * servers/NICs/ToR on partition r, the array and datacenter switch
+     * levels on partition numRacks() (when those levels exist), with
+     * cross-partition channels created for every ToR<->array trunk.
+     * @p ps must have exactly partitionsRequired(params) partitions and
+     * must outlive the Cluster.  Run with ps.runParallel() or
+     * ps.runSequential(); both produce bit-identical statistics.
+     */
+    Cluster(fame::PartitionSet &ps, const ClusterParams &params);
+
     ~Cluster();
 
     Cluster(const Cluster &) = delete;
     Cluster &operator=(const Cluster &) = delete;
 
-    Simulator &sim() { return sim_; }
+    /**
+     * Partitions a sharded build of @p params needs: one per rack plus
+     * one for the aggregation switch levels (omitted for a single-rack
+     * topology, which has no levels above its ToR).
+     */
+    static size_t partitionsRequired(const ClusterParams &params);
+
+    /**
+     * The single simulator of a non-sharded cluster.  Fatal on a
+     * sharded cluster — there is no single engine; use
+     * kernel(node).sim(), or drive the PartitionSet.
+     */
+    Simulator &sim();
+
+    /** Non-null iff this cluster is sharded over a PartitionSet. */
+    fame::PartitionSet *partitionSet() { return ps_; }
+    bool sharded() const { return ps_ != nullptr; }
+
     uint32_t size() const { return network_->totalServers(); }
+    uint32_t numRacks() const
+    {
+        return params_.topo.racks_per_array * params_.topo.num_arrays;
+    }
     const ClusterParams &params() const { return params_; }
 
     os::Kernel &kernel(net::NodeId node) { return *servers_[node].kernel; }
@@ -93,7 +141,13 @@ class Cluster {
         std::unique_ptr<net::Link> uplink; ///< NIC -> ToR
     };
 
-    Simulator &sim_;
+    /** Wire kernels/NICs/uplinks, each on its rack's simulator. */
+    void buildServers();
+
+    Simulator &simForRack(uint32_t rack);
+
+    Simulator *sim_ = nullptr;       ///< non-null iff single-partition
+    fame::PartitionSet *ps_ = nullptr; ///< non-null iff sharded
     ClusterParams params_;
     std::unique_ptr<topo::ClosNetwork> network_;
     std::vector<ServerNode> servers_;

@@ -52,8 +52,43 @@ hopClassName(HopClass h)
     return "?";
 }
 
+namespace {
+
+/** Hooks that place everything on one simulator with plain links. */
+ClosPartitionHooks
+singleSimHooks(Simulator &sim)
+{
+    ClosPartitionHooks h;
+    h.rack_sim = [&sim](uint32_t) -> Simulator & { return sim; };
+    h.switch_sim = &sim;
+    h.make_cross_link = [&sim](uint32_t, bool, const std::string &name,
+                               Bandwidth bw, SimTime prop) {
+        return std::make_unique<net::Link>(sim, name, bw, prop);
+    };
+    return h;
+}
+
+} // namespace
+
 ClosNetwork::ClosNetwork(Simulator &sim, const ClosParams &params)
-    : sim_(sim), params_(params)
+    : ClosNetwork(singleSimHooks(sim), params)
+{
+}
+
+ClosNetwork::ClosNetwork(const ClosPartitionHooks &hooks,
+                         const ClosParams &params)
+    : hooks_(hooks), params_(params)
+{
+    if (!hooks_.rack_sim || hooks_.switch_sim == nullptr ||
+        !hooks_.make_cross_link) {
+        fatal("ClosNetwork: partition hooks must provide rack_sim, "
+              "switch_sim, and make_cross_link");
+    }
+    build();
+}
+
+void
+ClosNetwork::build()
 {
     const uint32_t S = params_.servers_per_rack;
     const uint32_t R = params_.racks_per_array;
@@ -65,12 +100,13 @@ ClosNetwork::ClosNetwork(Simulator &sim, const ClosParams &params)
     const bool has_dc_level = A > 1;
 
     // Rack switches: S server ports (+1 uplink when an array level
-    // exists).
+    // exists).  Each ToR lives in its rack's partition.
     const uint32_t tor_ports = S + (has_array_level ? 1 : 0);
     const uint32_t num_racks = R * A;
     for (uint32_t r = 0; r < num_racks; ++r) {
         rack_switches_.push_back(makeSwitch(
-            params_.rack_sw, tor_ports, "tor" + std::to_string(r)));
+            hooks_.rack_sim(r), params_.rack_sw, tor_ports,
+            "tor" + std::to_string(r)));
     }
     server_links_.resize(static_cast<size_t>(num_racks) * S);
 
@@ -79,24 +115,28 @@ ClosNetwork::ClosNetwork(Simulator &sim, const ClosParams &params)
         const uint32_t arr_ports = R + (has_dc_level ? 1 : 0);
         for (uint32_t a = 0; a < A; ++a) {
             array_switches_.push_back(makeSwitch(
-                params_.array_sw, arr_ports, "arr" + std::to_string(a)));
+                *hooks_.switch_sim, params_.array_sw, arr_ports,
+                "arr" + std::to_string(a)));
         }
-        // ToR <-> array trunks.
+        // ToR <-> array trunks: the only links that straddle the
+        // rack/switch partition boundary, so both directions go
+        // through the cross-link hook.
         for (uint32_t a = 0; a < A; ++a) {
             for (uint32_t r = 0; r < R; ++r) {
-                switchm::Switch &tor = *rack_switches_[a * R + r];
+                const uint32_t rack = a * R + r;
+                switchm::Switch &tor = *rack_switches_[rack];
                 switchm::Switch &arr = *array_switches_[a];
                 // Up: ToR port S -> array ingress r.
-                auto up = std::make_unique<net::Link>(
-                    sim_, strprintf("tor%u.up", a * R + r),
-                    params_.rack_sw.port_bw, params_.trunk_link_prop);
+                auto up = makeTrunk(rack, true,
+                                    strprintf("tor%u.up", rack),
+                                    params_.rack_sw.port_bw);
                 up->connectTo(arr.inPort(r));
                 tor.attachOutLink(S, *up);
                 trunk_links_.push_back(std::move(up));
                 // Down: array egress r -> ToR ingress S.
-                auto down = std::make_unique<net::Link>(
-                    sim_, strprintf("arr%u.down%u", a, r),
-                    params_.array_sw.port_bw, params_.trunk_link_prop);
+                auto down = makeTrunk(rack, false,
+                                      strprintf("arr%u.down%u", a, r),
+                                      params_.array_sw.port_bw);
                 down->connectTo(tor.inPort(S));
                 arr.attachOutLink(r, *down);
                 trunk_links_.push_back(std::move(down));
@@ -105,18 +145,20 @@ ClosNetwork::ClosNetwork(Simulator &sim, const ClosParams &params)
     }
 
     if (has_dc_level) {
-        dc_switch_ = makeSwitch(params_.dc_sw, A, "dc");
+        // The array<->DC trunks never leave the switch partition.
+        Simulator &ssim = *hooks_.switch_sim;
+        dc_switch_ = makeSwitch(ssim, params_.dc_sw, A, "dc");
         for (uint32_t a = 0; a < A; ++a) {
             switchm::Switch &arr = *array_switches_[a];
             auto up = std::make_unique<net::Link>(
-                sim_, strprintf("arr%u.up", a), params_.array_sw.port_bw,
+                ssim, strprintf("arr%u.up", a), params_.array_sw.port_bw,
                 params_.trunk_link_prop);
             up->connectTo(dc_switch_->inPort(a));
             arr.attachOutLink(R, *up);
             trunk_links_.push_back(std::move(up));
 
             auto down = std::make_unique<net::Link>(
-                sim_, strprintf("dc.down%u", a), params_.dc_sw.port_bw,
+                ssim, strprintf("dc.down%u", a), params_.dc_sw.port_bw,
                 params_.trunk_link_prop);
             down->connectTo(arr.inPort(R));
             dc_switch_->attachOutLink(a, *down);
@@ -125,18 +167,26 @@ ClosNetwork::ClosNetwork(Simulator &sim, const ClosParams &params)
     }
 }
 
+std::unique_ptr<net::Link>
+ClosNetwork::makeTrunk(uint32_t rack, bool up, const std::string &name,
+                       Bandwidth bw)
+{
+    return hooks_.make_cross_link(rack, up, name, bw,
+                                  params_.trunk_link_prop);
+}
+
 std::unique_ptr<switchm::Switch>
-ClosNetwork::makeSwitch(const switchm::SwitchParams &base, uint32_t ports,
-                        const std::string &name)
+ClosNetwork::makeSwitch(Simulator &sim, const switchm::SwitchParams &base,
+                        uint32_t ports, const std::string &name)
 {
     switchm::SwitchParams p = base;
     p.num_ports = ports;
     p.name = name;
     switch (params_.switch_model) {
       case SwitchModelKind::Voq:
-        return std::make_unique<switchm::VoqSwitch>(sim_, p);
+        return std::make_unique<switchm::VoqSwitch>(sim, p);
       case SwitchModelKind::OutputQueue:
-        return std::make_unique<switchm::OutputQueueSwitch>(sim_, p);
+        return std::make_unique<switchm::OutputQueueSwitch>(sim, p);
     }
     panic("unreachable switch model kind");
 }
@@ -179,8 +229,10 @@ void
 ClosNetwork::attachServerSink(net::NodeId node, net::PacketSink &nic_sink)
 {
     checkNode(node);
+    // ToR-to-server link: both endpoints live in the rack's partition.
     auto link = std::make_unique<net::Link>(
-        sim_, strprintf("tor%u.srv%u", rackOf(node), indexInRack(node)),
+        hooks_.rack_sim(rackOf(node)),
+        strprintf("tor%u.srv%u", rackOf(node), indexInRack(node)),
         params_.rack_sw.port_bw, params_.host_link_prop);
     link->connectTo(nic_sink);
     rack_switches_[rackOf(node)]->attachOutLink(indexInRack(node), *link);

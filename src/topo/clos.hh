@@ -16,6 +16,7 @@
  * two levels without a datacenter switch (the 500-node setup).
  */
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -74,12 +75,51 @@ enum class HopClass {
 const char *hopClassName(HopClass h);
 
 /**
+ * Hooks for building a ClosNetwork across simulation partitions — the
+ * paper's Rack-FPGA/Switch-FPGA mapping.  Each rack's ToR switch and
+ * server-facing links live in that rack's partition; the array and
+ * datacenter switch levels live in a dedicated switch partition; the
+ * ToR<->array trunks are the only links whose endpoints straddle a
+ * partition boundary, so only they are created through
+ * make_cross_link (typically returning a net::ChannelLink).
+ */
+struct ClosPartitionHooks {
+    /** Simulator owning global rack @p rack's ToR and server links. */
+    std::function<Simulator &(uint32_t rack)> rack_sim;
+
+    /** Simulator owning the array and datacenter switch levels. */
+    Simulator *switch_sim = nullptr;
+
+    /**
+     * Create the trunk between rack @p rack's ToR and its array switch.
+     * @p up is true for the ToR->array direction (transmitter in the
+     * rack partition), false for array->ToR (transmitter in the switch
+     * partition).  The returned link's delivery must cross into the
+     * opposite partition.
+     */
+    std::function<std::unique_ptr<net::Link>(
+        uint32_t rack, bool up, const std::string &name, Bandwidth bw,
+        SimTime prop)>
+        make_cross_link;
+};
+
+/**
  * The built network: switches and trunk links, plus per-server
  * attachment points and route computation.
  */
 class ClosNetwork {
   public:
+    /** Single-partition build: every model element on @p sim. */
     ClosNetwork(Simulator &sim, const ClosParams &params);
+
+    /**
+     * Partitioned build: model elements are placed per @p hooks, with
+     * ToR<->array trunks emitted through hooks.make_cross_link instead
+     * of as direct intra-partition net::Links.  All hooks fields are
+     * required.  @p hooks' callables are retained for the network's
+     * lifetime (attachServerSink places links lazily).
+     */
+    ClosNetwork(const ClosPartitionHooks &hooks, const ClosParams &params);
 
     const ClosParams &params() const { return params_; }
     uint32_t totalServers() const { return params_.totalServers(); }
@@ -121,11 +161,15 @@ class ClosNetwork {
 
   private:
     std::unique_ptr<switchm::Switch> makeSwitch(
-        const switchm::SwitchParams &base, uint32_t ports,
+        Simulator &sim, const switchm::SwitchParams &base, uint32_t ports,
         const std::string &name);
+    std::unique_ptr<net::Link> makeTrunk(uint32_t rack, bool up,
+                                         const std::string &name,
+                                         Bandwidth bw);
+    void build();
     void checkNode(net::NodeId node) const;
 
-    Simulator &sim_;
+    ClosPartitionHooks hooks_;
     ClosParams params_;
 
     std::vector<std::unique_ptr<switchm::Switch>> rack_switches_;
