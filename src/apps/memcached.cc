@@ -361,15 +361,16 @@ installMemcachedClient(sim::Cluster &cluster, net::NodeId node,
     if (servers.empty()) {
         fatal("memcached client: no servers given");
     }
-    auto ctx = std::make_shared<ClientCtx>();
-    ctx->cluster = &cluster;
-    ctx->me = node;
-    ctx->servers = std::move(servers);
-    ctx->params = params;
-    ctx->stats = std::move(stats);
-    ctx->rng = cluster.rng().fork(node).fork("mc-client");
-    ctx->workload = std::make_unique<EtcWorkload>(
-        params.workload, cluster.rng().fork(node).fork("mc-workload"));
+    auto ctx = std::make_shared<ClientCtx>(ClientCtx{
+        &cluster,
+        node,
+        std::move(servers),
+        params,
+        std::move(stats),
+        cluster.rng().fork(node).fork("mc-client"),
+        std::make_unique<EtcWorkload>(
+            params.workload, cluster.rng().fork(node).fork("mc-workload")),
+    });
 
     if (params.udp) {
         cluster.kernel(node).spawnProcess(mcUdpClient(std::move(ctx)));

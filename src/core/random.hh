@@ -22,8 +22,13 @@ namespace diablo {
 /** xoshiro256++ generator with our own distribution implementations. */
 class Rng {
   public:
-    /** Seed via SplitMix64 expansion of @p seed. */
-    explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+    /**
+     * Seed via SplitMix64 expansion of @p seed.  The seed is always
+     * explicit: a defaulted seed let two components silently draw the
+     * same stream, which destroys the independence fork() guarantees.
+     * Derive per-component streams with fork("name") instead.
+     */
+    explicit Rng(uint64_t seed);
 
     /** Next raw 64-bit output. */
     uint64_t next();

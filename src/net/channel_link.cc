@@ -41,9 +41,12 @@ ChannelLink::scheduleDelivery(SimTime when, PacketPtr p)
 {
     // The posted event runs in the destination partition; it only
     // touches the sink (destination-side state) and the packet it
-    // carries, never the transmit-side bookkeeping.
-    Packet *raw = p.release();
-    post_(when, EventFn([this, raw] { deliverToSink(PacketPtr(raw)); }));
+    // carries, never the transmit-side bookkeeping.  The event owns the
+    // packet so frames still in flight when a run stops are reclaimed
+    // with the destination queue.
+    post_(when, EventFn([this, p = std::move(p)]() mutable {
+        deliverToSink(std::move(p));
+    }));
 }
 
 } // namespace net

@@ -41,12 +41,18 @@ class LossySink : public PacketSink {
         drop_indices_ = std::move(indices);
     }
 
-    /** Drop each arrival independently with probability @p p. */
+    /**
+     * Drop each arrival independently with probability @p p, drawn from
+     * a private stream forked from @p seed.  Taking a seed (not a
+     * generator) means two sinks can never share or duplicate a stream:
+     * each owns its draws, and distinct seeds give independent loss
+     * patterns.
+     */
     void
-    dropRandomly(double p, Rng rng)
+    dropRandomly(double p, uint64_t seed)
     {
         drop_prob_ = p;
-        rng_ = rng;
+        rng_ = Rng(seed).fork("lossy-sink");
     }
 
     /** Drop arrivals for which @p pred returns true. */
@@ -61,15 +67,18 @@ class LossySink : public PacketSink {
     {
         const uint64_t idx = arrivals_.value();
         arrivals_.inc();
-        bool drop = drop_indices_.count(idx) > 0;
-        if (!drop && drop_prob_ > 0) {
-            drop = rng_.bernoulli(drop_prob_);
+        // Cause precedence: explicit index, then random, then predicate;
+        // each drop is attributed to exactly one cause counter.
+        if (drop_indices_.count(idx) > 0) {
+            dropped_by_index_.inc();
+            return;
         }
-        if (!drop && pred_) {
-            drop = pred_(*p);
+        if (drop_prob_ > 0 && rng_.bernoulli(drop_prob_)) {
+            dropped_randomly_.inc();
+            return;
         }
-        if (drop) {
-            dropped_.inc();
+        if (pred_ && pred_(*p)) {
+            dropped_by_predicate_.inc();
             return;
         }
         inner_.receive(std::move(p));
@@ -82,16 +91,33 @@ class LossySink : public PacketSink {
     }
 
     uint64_t arrivals() const { return arrivals_.value(); }
-    uint64_t dropped() const { return dropped_.value(); }
+
+    /** Per-cause drop counts. */
+    uint64_t droppedByIndex() const { return dropped_by_index_.value(); }
+    uint64_t droppedRandomly() const { return dropped_randomly_.value(); }
+    uint64_t droppedByPredicate() const
+    {
+        return dropped_by_predicate_.value();
+    }
+
+    /** Total across all causes. */
+    uint64_t
+    dropped() const
+    {
+        return droppedByIndex() + droppedRandomly() + droppedByPredicate();
+    }
 
   private:
     PacketSink &inner_;
     std::set<uint64_t> drop_indices_;
     double drop_prob_ = 0.0;
-    Rng rng_{0};
+    // Placeholder state only: dropRandomly() reseeds before any draw.
+    Rng rng_{0x11A8D1AB71ULL};
     std::function<bool(const Packet &)> pred_;
     Counter arrivals_;
-    Counter dropped_;
+    Counter dropped_by_index_;
+    Counter dropped_randomly_;
+    Counter dropped_by_predicate_;
 };
 
 } // namespace net

@@ -25,6 +25,21 @@ Link::transmit(PacketPtr p)
         panic("Link %s: no sink attached", name_.c_str());
     }
 
+    if (!up_) {
+        // Degradation is the contract: a downed link accounts the drop
+        // and releases the transmitter immediately so upstream egress
+        // queues drain (into further counted drops) rather than wedge.
+        down_drops_.inc();
+        if (tx_done_) {
+            sim_.schedule(SimTime(), [this] {
+                if (tx_done_) {
+                    tx_done_();
+                }
+            });
+        }
+        return sim_.now();
+    }
+
     const SimTime ser = bw_.transferTime(p->wireBytes());
     const SimTime tx_done = sim_.now() + ser;
     const SimTime arrive_first = sim_.now() + prop_;
@@ -46,7 +61,21 @@ Link::transmit(PacketPtr p)
             eth::kCutThroughHeaderBytes + eth::kPreambleBytes);
         deliver_at = std::min(arrive_first + header_time, arrive_last);
     }
-    scheduleDelivery(deliver_at, std::move(p));
+
+    // Brownout: the frame occupies the transmitter either way, but may
+    // be lost on the wire, and survivors arrive late.  Only delaying or
+    // dropping keeps ChannelLink's min-latency contract intact.
+    bool lost = false;
+    if (degraded_) {
+        deliver_at += degrade_extra_;
+        if (degrade_rng_.bernoulli(degrade_loss_)) {
+            degrade_drops_.inc();
+            lost = true;
+        }
+    }
+    if (!lost) {
+        scheduleDelivery(deliver_at, std::move(p));
+    }
 
     // Notify the transmitter owner when the line frees up.
     if (tx_done_) {
@@ -60,11 +89,43 @@ Link::transmit(PacketPtr p)
 }
 
 void
+Link::setUp(bool up)
+{
+    up_ = up;
+}
+
+void
+Link::setDegraded(double loss_prob, SimTime extra_latency, uint64_t seed)
+{
+    if (loss_prob < 0.0 || loss_prob > 1.0) {
+        fatal("Link %s: degrade loss probability %f out of [0,1]",
+              name_.c_str(), loss_prob);
+    }
+    if (extra_latency < SimTime()) {
+        fatal("Link %s: negative degrade latency", name_.c_str());
+    }
+    degraded_ = true;
+    degrade_loss_ = loss_prob;
+    degrade_extra_ = extra_latency;
+    degrade_rng_ = Rng(seed).fork(name_).fork("link-degrade");
+}
+
+void
+Link::clearDegraded()
+{
+    degraded_ = false;
+    degrade_loss_ = 0.0;
+    degrade_extra_ = SimTime();
+}
+
+void
 Link::scheduleDelivery(SimTime when, PacketPtr p)
 {
-    Packet *raw = p.release();
-    sim_.scheduleAt(when, [this, raw] {
-        deliverToSink(PacketPtr(raw));
+    // The event owns the packet: a run can stop at its horizon with
+    // deliveries still queued, and those must be reclaimed with the
+    // queue, not leaked.
+    sim_.scheduleAt(when, [this, p = std::move(p)]() mutable {
+        deliverToSink(std::move(p));
     });
 }
 

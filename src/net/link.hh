@@ -16,11 +16,20 @@
  * own their queues so that buffer management policies are modeled where
  * they live in the real hardware.  Callers check busy()/nextFreeTime() and
  * use the tx-done callback to drain.
+ *
+ * Fault model: a link can be administratively *down* (transmits are
+ * dropped and counted, never a panic — degradation is the contract) or
+ * *degraded* (a brownout: seeded Bernoulli frame loss plus extra
+ * delivery latency).  Both states only affect packets transmitted while
+ * the state holds; deliveries already in flight are untouched, so state
+ * changes are safe at any simulated instant, including across
+ * partition boundaries (a downed ChannelLink simply posts nothing).
  */
 
 #include <functional>
 #include <string>
 
+#include "core/random.hh"
 #include "core/simulator.hh"
 #include "core/stats.hh"
 #include "core/units.hh"
@@ -71,6 +80,42 @@ class Link {
     uint64_t packetsSent() const { return packets_.value(); }
     uint64_t bytesSent() const { return wire_bytes_.value(); }
 
+    // ---- fault surface -------------------------------------------------
+
+    bool isUp() const { return up_; }
+
+    /**
+     * Administratively raise or lower the link.  A transmit on a downed
+     * link is accounted in downDrops() and completes immediately: the
+     * tx-done callback still fires (at the current instant), so egress
+     * queues upstream drain into counted drops instead of wedging on a
+     * transmitter that never frees.  Deliveries already in flight still
+     * arrive — only the cable is cut, not causality.
+     */
+    void setUp(bool up);
+
+    /**
+     * Enter brownout: every frame transmitted while degraded is lost
+     * with probability @p loss_prob (drawn from a private stream forked
+     * from @p seed, so two links given the same seed still diverge by
+     * name), and surviving frames see @p extra_latency added on top of
+     * propagation.  Extra latency only ever pushes deliveries later, so
+     * a degraded ChannelLink can never violate its channel's
+     * min-latency contract.
+     */
+    void setDegraded(double loss_prob, SimTime extra_latency, uint64_t seed);
+
+    /** Leave brownout; subsequent frames are clean again. */
+    void clearDegraded();
+
+    bool degraded() const { return degraded_; }
+
+    /** Frames dropped because the link was down at transmit time. */
+    uint64_t downDrops() const { return down_drops_.value(); }
+
+    /** Frames lost to brownout while degraded. */
+    uint64_t degradeDrops() const { return degrade_drops_.value(); }
+
     /** Fraction of elapsed sim time the transmitter was busy. */
     double utilization() const;
 
@@ -98,6 +143,16 @@ class Link {
     SimTime busy_time_;
     Counter packets_;
     Counter wire_bytes_;
+
+    bool up_ = true;
+    bool degraded_ = false;
+    double degrade_loss_ = 0.0;
+    SimTime degrade_extra_;
+    // Placeholder state only: setDegraded() reseeds (fork by link name)
+    // before any draw is taken.
+    Rng degrade_rng_{0x11A8D1AB70ULL};
+    Counter down_drops_;
+    Counter degrade_drops_;
 };
 
 } // namespace net

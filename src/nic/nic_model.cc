@@ -80,16 +80,16 @@ NicModel::txPump()
 void
 NicModel::receive(net::PacketPtr p)
 {
-    // DMA into the RX ring after the host-transfer latency.
-    net::Packet *raw = p.release();
-    sim_.schedule(params_.dma_latency, [this, raw] {
-        net::PacketPtr pkt(raw);
+    // DMA into the RX ring after the host-transfer latency.  The event
+    // owns the packet so in-flight DMAs are reclaimed with the queue if
+    // the run stops first.
+    sim_.schedule(params_.dma_latency, [this, p = std::move(p)]() mutable {
         if (rx_ring_.size() >= params_.rx_ring_entries) {
             rx_ring_drops_.inc(); // overrun: host too slow to drain
             return;
         }
         rx_packets_.inc();
-        rx_ring_.push_back(std::move(pkt));
+        rx_ring_.push_back(std::move(p));
         maybeRaiseIrq();
     });
 }

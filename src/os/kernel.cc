@@ -99,6 +99,9 @@ Kernel::chargeSyscall(Thread &t, uint64_t body_cycles)
 Task<long>
 Kernel::sysSocket(Thread &t, net::Proto proto)
 {
+    if (crashed_) {
+        co_return err::kIO;
+    }
     co_await chargeSyscall(t, profile_.socket_create_cycles);
     int fd = allocFd();
     sockets_[fd] = std::make_unique<Socket>(sim_, fd, proto);
@@ -108,6 +111,9 @@ Kernel::sysSocket(Thread &t, net::Proto proto)
 Task<long>
 Kernel::sysBind(Thread &t, int fd, uint16_t port)
 {
+    if (crashed_) {
+        co_return err::kIO;
+    }
     co_await chargeSyscall(t, 800);
     Socket *s = socketFor(fd);
     if (s == nullptr) {
@@ -131,6 +137,9 @@ Kernel::sysBind(Thread &t, int fd, uint16_t port)
 Task<long>
 Kernel::sysListen(Thread &t, int fd, uint32_t backlog)
 {
+    if (crashed_) {
+        co_return err::kIO;
+    }
     co_await chargeSyscall(t, 1200);
     Socket *s = socketFor(fd);
     if (s == nullptr || s->proto != net::Proto::Tcp || !s->bound) {
@@ -148,6 +157,9 @@ Kernel::sysListen(Thread &t, int fd, uint32_t backlog)
 Task<long>
 Kernel::sysConnect(Thread &t, int fd, net::NodeId dst, uint16_t dport)
 {
+    if (crashed_) {
+        co_return err::kIO;
+    }
     co_await chargeSyscall(t, profile_.connect_cycles);
     Socket *s = socketFor(fd);
     if (s == nullptr || s->proto != net::Proto::Tcp || s->conn) {
@@ -164,7 +176,9 @@ Kernel::sysConnect(Thread &t, int fd, net::NodeId dst, uint16_t dport)
     while (c->state() != TcpConnection::State::Established) {
         if (c->connectFailed() ||
             c->state() == TcpConnection::State::Closed) {
-            co_return err::kConnRefused;
+            // SYN-retry exhaustion (or a local crash) reports its
+            // errno; a peer's RST stays ECONNREFUSED.
+            co_return c->aborted() ? c->abortError() : err::kConnRefused;
         }
         co_await s->writers.wait();
     }
@@ -178,6 +192,9 @@ Kernel::sysConnect(Thread &t, int fd, net::NodeId dst, uint16_t dport)
 Task<long>
 Kernel::sysAccept(Thread &t, int fd, bool use_accept4)
 {
+    if (crashed_) {
+        co_return err::kIO;
+    }
     co_await chargeSyscall(t, 300); // entry / fast path to the wait
     Socket *s = socketFor(fd);
     if (s == nullptr || !s->listening) {
@@ -185,6 +202,9 @@ Kernel::sysAccept(Thread &t, int fd, bool use_accept4)
     }
     while (s->accept_queue.empty()) {
         co_await s->readers.wait();
+        if (crashed_) {
+            co_return err::kIO;
+        }
         if (s->closed) {
             co_return err::kBadF;
         }
@@ -221,6 +241,9 @@ Task<long>
 Kernel::sysSend(Thread &t, int fd, uint64_t bytes,
                 std::shared_ptr<const net::AppData> msg)
 {
+    if (crashed_) {
+        co_return err::kIO;
+    }
     Socket *s = socketFor(fd);
     if (s == nullptr || s->conn == nullptr) {
         co_return err::kNotConn;
@@ -239,7 +262,8 @@ Kernel::sysSend(Thread &t, int fd, uint64_t bytes,
     while (remaining > 0) {
         TcpConnection *c = s->conn;
         if (c == nullptr || c->state() == TcpConnection::State::Closed) {
-            co_return err::kConnReset;
+            co_return (c != nullptr && c->aborted()) ? c->abortError()
+                                                     : err::kConnReset;
         }
         uint64_t acc = c->enqueueSend(remaining, msg);
         remaining -= acc;
@@ -258,6 +282,9 @@ Task<long>
 Kernel::sysRecv(Thread &t, int fd, uint64_t max_bytes,
                 std::vector<RecvedMessage> *msgs, SimTime timeout)
 {
+    if (crashed_) {
+        co_return err::kIO;
+    }
     co_await chargeSyscall(t, 400);
     Socket *s = socketFor(fd);
     if (s == nullptr || s->conn == nullptr) {
@@ -265,12 +292,20 @@ Kernel::sysRecv(Thread &t, int fd, uint64_t max_bytes,
     }
     TcpConnection *c = s->conn;
     while (c->available() == 0) {
+        if (c->aborted()) {
+            // Timeout-driven abort (dead peer) surfaces its errno; an
+            // orderly FIN or RST still reads as EOF below.
+            co_return c->abortError();
+        }
         if (c->atEof() || c->state() == TcpConnection::State::Closed) {
             co_return 0; // EOF
         }
         long r = co_await s->readers.wait(timeout);
         if (r == kWaitTimedOut) {
             co_return err::kTimedOut;
+        }
+        if (crashed_) {
+            co_return err::kIO;
         }
         if (s->conn == nullptr) {
             co_return err::kConnReset;
@@ -288,6 +323,9 @@ Task<long>
 Kernel::sysSendTo(Thread &t, int fd, net::NodeId dst, uint16_t dport,
                   uint64_t bytes, std::shared_ptr<const net::AppData> msg)
 {
+    if (crashed_) {
+        co_return err::kIO;
+    }
     Socket *s = socketFor(fd);
     if (s == nullptr || s->proto != net::Proto::Udp) {
         co_return err::kInval;
@@ -333,6 +371,9 @@ Kernel::sysSendTo(Thread &t, int fd, net::NodeId dst, uint16_t dport,
 Task<long>
 Kernel::sysRecvFrom(Thread &t, int fd, RecvedMessage *out, SimTime timeout)
 {
+    if (crashed_) {
+        co_return err::kIO;
+    }
     co_await chargeSyscall(t, 400);
     Socket *s = socketFor(fd);
     if (s == nullptr || s->proto != net::Proto::Udp) {
@@ -342,6 +383,9 @@ Kernel::sysRecvFrom(Thread &t, int fd, RecvedMessage *out, SimTime timeout)
         long r = co_await s->readers.wait(timeout);
         if (r == kWaitTimedOut) {
             co_return err::kTimedOut;
+        }
+        if (crashed_) {
+            co_return err::kIO;
         }
         if (s->closed) {
             co_return err::kBadF;
@@ -367,6 +411,9 @@ Kernel::sysRecvFrom(Thread &t, int fd, RecvedMessage *out, SimTime timeout)
 Task<long>
 Kernel::sysEpollCreate(Thread &t)
 {
+    if (crashed_) {
+        co_return err::kIO;
+    }
     co_await chargeSyscall(t, profile_.epoll_create_cycles);
     int fd = allocFd();
     epolls_[fd] = std::make_unique<EpollInstance>(sim_, fd);
@@ -376,6 +423,9 @@ Kernel::sysEpollCreate(Thread &t)
 Task<long>
 Kernel::sysEpollCtlAdd(Thread &t, int epfd, int fd)
 {
+    if (crashed_) {
+        co_return err::kIO;
+    }
     co_await chargeSyscall(t, profile_.epoll_ctl_cycles);
     auto it = epolls_.find(epfd);
     Socket *s = socketFor(fd);
@@ -396,6 +446,9 @@ Task<long>
 Kernel::sysEpollWait(Thread &t, int epfd, std::vector<EpollEvent> *events,
                      uint32_t max_events, SimTime timeout)
 {
+    if (crashed_) {
+        co_return err::kIO;
+    }
     co_await chargeSyscall(t, profile_.epoll_wait_base_cycles);
     auto it = epolls_.find(epfd);
     if (it == epolls_.end()) {
@@ -423,6 +476,9 @@ Kernel::sysEpollWait(Thread &t, int epfd, std::vector<EpollEvent> *events,
         if (r == kWaitTimedOut) {
             co_return 0;
         }
+        if (crashed_) {
+            co_return err::kIO;
+        }
     }
     co_await t.kcompute(profile_.epoll_wait_per_event_cycles *
                         events->size());
@@ -432,6 +488,9 @@ Kernel::sysEpollWait(Thread &t, int epfd, std::vector<EpollEvent> *events,
 Task<long>
 Kernel::sysClose(Thread &t, int fd)
 {
+    if (crashed_) {
+        co_return err::kIO;
+    }
     co_await chargeSyscall(t, 1500);
 
     auto eit = epolls_.find(fd);
@@ -490,6 +549,9 @@ Kernel::sysClose(Thread &t, int fd)
 void
 Kernel::stackTransmit(net::PacketPtr p)
 {
+    if (crashed_) {
+        return; // a dead host sends nothing
+    }
     p->created = sim_.now();
     if (p->flow.proto == net::Proto::Tcp) {
         pending_tx_charge_cycles_ +=
@@ -618,6 +680,12 @@ Kernel::addHrTimer(SimTime delay, EventFn fn)
 void
 Kernel::rxInterrupt()
 {
+    if (crashed_) {
+        // The wire still delivers to a dead host; the packets just die
+        // on arrival (nobody polls the ring).
+        discardRxRing();
+        return;
+    }
     if (nic_ != nullptr) {
         nic_->rxInterruptsEnable(false); // NAPI: mask until poll finishes
     }
@@ -644,6 +712,11 @@ void
 Kernel::processNextRx(uint32_t budget)
 {
     if (nic_ == nullptr) {
+        return;
+    }
+    if (crashed_) {
+        // A softirq round already in flight when the host died.
+        discardRxRing();
         return;
     }
     if (budget == 0 || nic_->rxPending() == 0) {
@@ -679,6 +752,10 @@ Kernel::processNextRx(uint32_t budget)
 void
 Kernel::processRxPacket(net::PacketPtr p)
 {
+    if (crashed_) {
+        ++stats_.crash_rx_discards;
+        return;
+    }
     ++stats_.rx_packets;
     if (p->flow.proto == net::Proto::Udp) {
         deliverUdp(std::move(p));
@@ -853,6 +930,106 @@ Kernel::destroyConnection(TcpConnection &conn)
         }
         conns_.erase(it);
     });
+}
+
+// ---------------------------------------------------------------------
+// Faults: server crash / reboot
+// ---------------------------------------------------------------------
+
+void
+Kernel::discardRxRing()
+{
+    if (nic_ == nullptr) {
+        return;
+    }
+    while (net::PacketPtr p = nic_->rxDequeue()) {
+        ++stats_.crash_rx_discards;
+    }
+    nic_->rxInterruptsEnable(true);
+}
+
+void
+Kernel::crash()
+{
+    if (crashed_) {
+        return;
+    }
+    crashed_ = true;
+
+    // Silent teardown: state goes Closed and timers die, but nothing is
+    // sent — peers learn of the death only through their own RTO abort
+    // timers (or an RST once this host reboots).
+    for (auto &[key, conn] : conns_) {
+        conn->crashTeardown();
+    }
+
+    // Wake every blocked syscall.  Frames are never destroyed here: a
+    // suspended frame is registered on wait queues and CPU completion
+    // events, so destroying it would dangle.  Woken coroutines observe
+    // crashed_ (or their connection's abort errno) and return EIO.
+    for (auto &[fd, s] : sockets_) {
+        s->readers.wakeAll(err::kIO);
+        s->writers.wakeAll(err::kIO);
+    }
+    for (auto &[fd, ep] : epolls_) {
+        ep->waiters.wakeAll(err::kIO);
+    }
+
+    // Queued TX work and partial datagrams die with the host.
+    qdisc_.clear();
+    pending_tx_charge_cycles_ = 0;
+    reassembly_.clear();
+
+    // Packets the NIC already buffered are lost.
+    discardRxRing();
+}
+
+void
+Kernel::reboot()
+{
+    if (!crashed_) {
+        return;
+    }
+
+    // Retire the old tables into graveyards rather than freeing them:
+    // zombie coroutine frames suspended at crash time may still hold
+    // raw pointers into these objects across a co_await.  They stay
+    // alive until the kernel itself is destroyed (which clears
+    // processes_ — and with it every frame — first).
+    for (auto &[key, conn] : conns_) {
+        dead_conns_.push_back(std::move(conn));
+    }
+    conns_.clear();
+    for (auto &[fd, s] : sockets_) {
+        dead_sockets_.push_back(std::move(s));
+    }
+    sockets_.clear();
+    for (auto &s : embryonic_sockets_) {
+        dead_sockets_.push_back(std::move(s));
+    }
+    embryonic_sockets_.clear();
+    for (auto &[fd, ep] : epolls_) {
+        dead_epolls_.push_back(std::move(ep));
+    }
+    epolls_.clear();
+    udp_bound_.clear();
+    tcp_listen_.clear();
+
+    // Reap root processes that ran to completion (applications that
+    // observed EIO and returned).  Safe: the only outstanding pointers
+    // to Task objects are the zero-delay spawn events, which have long
+    // fired by the time a scheduled reboot runs.
+    for (auto it = processes_.begin(); it != processes_.end();) {
+        if (it->done()) {
+            it->checkRootException();
+            it = processes_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    crashed_ = false;
+    discardRxRing(); // anything that arrived during the outage is gone
 }
 
 } // namespace os

@@ -206,6 +206,39 @@ class Kernel {
     void destroyConnection(TcpConnection &conn);
 
     // ------------------------------------------------------------------
+    // Faults: server crash / reboot
+    // ------------------------------------------------------------------
+
+    /**
+     * Power-fail the server.  Every connection is torn down silently
+     * (a dead host sends nothing — peers find out via their own RTO
+     * abort timers), every blocked syscall wakes with EIO, queued TX
+     * work and the NIC RX ring are discarded, and until reboot() every
+     * syscall fails fast with EIO and every arriving packet is
+     * discarded (counted in stats().crash_rx_discards).
+     *
+     * Suspended coroutine frames are never destroyed — destroying a
+     * frame that is registered on wait queues or CPU completion events
+     * would dangle; instead they wake, observe errors, and either
+     * finish or park as zombies.  Objects they may still reference
+     * (sockets, connections, epoll instances) survive in graveyards
+     * until the kernel itself is destroyed.
+     */
+    void crash();
+
+    /**
+     * Restore service after crash(): fresh socket/port/connection
+     * tables (old fds are dead), finished process frames reaped.  A
+     * retransmission arriving for a pre-crash flow now finds no
+     * connection and draws an RST — exactly how peers of a rebooted
+     * host learn their connection is gone.  Call schedulable delay
+     * after crash(); the restart application is spawned by the caller.
+     */
+    void reboot();
+
+    bool crashed() const { return crashed_; }
+
+    // ------------------------------------------------------------------
     // Stats
     // ------------------------------------------------------------------
 
@@ -218,6 +251,9 @@ class Kernel {
         uint64_t softirq_rounds = 0;
         uint64_t tcp_retransmits = 0;
         uint64_t tcp_rtos = 0;
+        uint64_t tcp_aborts = 0;    ///< timeout/abort-terminated flows
+        uint64_t tcp_recovered = 0; ///< flows that survived >=1 RTO
+        uint64_t crash_rx_discards = 0; ///< packets hitting a dead host
     };
 
     const Stats &stats() const { return stats_; }
@@ -225,6 +261,8 @@ class Kernel {
     /** TCP bookkeeping hooks (called by TcpConnection). */
     void noteTcpRetransmit() { ++stats_.tcp_retransmits; }
     void noteTcpRto() { ++stats_.tcp_rtos; }
+    void noteTcpAbort() { ++stats_.tcp_aborts; }
+    void noteTcpRecovered() { ++stats_.tcp_recovered; }
 
     Socket *socketFor(int fd);
 
@@ -238,6 +276,8 @@ class Kernel {
     Socket *listeningSocket(uint16_t port);
 
     void qdiscPump();
+    /** Drop everything in the NIC RX ring (host is dead); re-arm IRQs. */
+    void discardRxRing();
     void scheduleSoftirq();
     void processNextRx(uint32_t budget);
     void processRxPacket(net::PacketPtr p);
@@ -293,6 +333,17 @@ class Kernel {
     std::unordered_map<uint64_t, Reassembly> reassembly_;
 
     uint64_t next_dgram_id_ = 1;
+
+    bool crashed_ = false;
+    /**
+     * Graveyards for objects retired by reboot().  Zombie coroutine
+     * frames suspended at crash time can still hold raw pointers to
+     * these; they stay alive until the kernel is destroyed (which
+     * clears processes_ — and with it every frame — first).
+     */
+    std::deque<std::unique_ptr<Socket>> dead_sockets_;
+    std::deque<std::unique_ptr<EpollInstance>> dead_epolls_;
+    std::deque<std::unique_ptr<TcpConnection>> dead_conns_;
 
     Stats stats_;
 

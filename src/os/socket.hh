@@ -37,6 +37,7 @@ struct RecvedMessage {
 namespace err {
 inline constexpr long kAgain = -11;        ///< EAGAIN
 inline constexpr long kBadF = -9;          ///< EBADF
+inline constexpr long kIO = -5;            ///< EIO (host crashed)
 inline constexpr long kConnRefused = -111; ///< ECONNREFUSED
 inline constexpr long kConnReset = -104;   ///< ECONNRESET
 inline constexpr long kInUse = -98;        ///< EADDRINUSE

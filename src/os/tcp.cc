@@ -36,6 +36,10 @@ TcpParams::fromConfig(const Config &cfg, const std::string &prefix)
     p.delayed_ack_timeout = SimTime::microseconds(
         cfg.getDouble(prefix + "delayed_ack_timeout_us",
                       p.delayed_ack_timeout.asMicros()));
+    p.max_retries = static_cast<uint32_t>(
+        cfg.getUint(prefix + "max_retries", p.max_retries));
+    p.max_syn_retries = static_cast<uint32_t>(
+        cfg.getUint(prefix + "max_syn_retries", p.max_syn_retries));
     return p;
 }
 
@@ -52,10 +56,20 @@ TcpConnection::TcpConnection(Kernel &kernel, Socket &sock,
 
 TcpConnection::~TcpConnection()
 {
+    cancelAllTimers();
+}
+
+void
+TcpConnection::cancelAllTimers()
+{
     cancelRtoTimer();
     if (delack_armed_) {
         kernel_.cancelTimer(delack_timer_);
         delack_armed_ = false;
+    }
+    if (persist_armed_) {
+        kernel_.cancelTimer(persist_timer_);
+        persist_armed_ = false;
     }
 }
 
@@ -151,6 +165,7 @@ TcpConnection::enterEstablished()
 {
     state_ = State::Established;
     backoff_ = 0;
+    retry_attempts_ = 0;
     cancelRtoTimer();
 }
 
@@ -252,6 +267,7 @@ TcpConnection::onAck(uint64_t ack, uint64_t wnd)
             timed_pending_ = false;
         }
         backoff_ = 0;
+        retry_attempts_ = 0; // forward progress resets the abort clock
 
         if (in_fast_recovery_) {
             if (ack >= recover_) {
@@ -288,6 +304,11 @@ TcpConnection::onAck(uint64_t ack, uint64_t wnd)
         if (fin_sent_ && snd_una_ == snd_nxt_ && peer_fin_) {
             // Both directions closed and our FIN acknowledged.
             state_ = State::Closed;
+            if (rto_count_ > 0) {
+                // Suffered timeouts but still delivered everything and
+                // closed cleanly: a recovered flow, not an aborted one.
+                kernel_.noteTcpRecovered();
+            }
             kernel_.destroyConnection(*this);
         }
         return;
@@ -564,6 +585,32 @@ TcpConnection::consume(uint64_t max_bytes, std::vector<RecvedMessage> *out)
 }
 
 void
+TcpConnection::abortConnection(long error)
+{
+    if (state_ == State::Closed && aborted()) {
+        return;
+    }
+    if (state_ == State::SynSent || state_ == State::SynRcvd) {
+        connect_failed_ = true;
+    }
+    abort_errno_ = error;
+    state_ = State::Closed;
+    cancelAllTimers();
+    kernel_.noteTcpAbort();
+    notifyReadable();
+    notifyWritable();
+}
+
+void
+TcpConnection::crashTeardown()
+{
+    abort_errno_ = err::kIO;
+    connect_failed_ = true;
+    state_ = State::Closed;
+    cancelAllTimers();
+}
+
+void
 TcpConnection::appClose()
 {
     if (state_ == State::Closed || fin_queued_) {
@@ -648,6 +695,19 @@ TcpConnection::onRtoExpired()
     }
     timed_pending_ = false; // Karn: never sample retransmitted segments
 
+    // A peer that died silently never answers: after the retry budget
+    // is exhausted the connection aborts instead of retransmitting
+    // forever (Linux tcp_retries2 / tcp_syn_retries semantics).
+    const bool handshake =
+        state_ == State::SynSent || state_ == State::SynRcvd;
+    const uint32_t retry_limit =
+        handshake ? params_.max_syn_retries : params_.max_retries;
+    if (retry_attempts_ >= retry_limit) {
+        abortConnection(err::kTimedOut);
+        return;
+    }
+    ++retry_attempts_;
+
     switch (state_) {
       case State::SynSent:
         syn_retransmitted_ = true; // Karn: don't sample this handshake
@@ -675,8 +735,8 @@ TcpConnection::onRtoExpired()
     cwnd_ = params_.mss;
     in_fast_recovery_ = false;
     dupacks_ = 0;
-    snd_nxt_ = snd_una_;
     retransmit_until_ = std::max(retransmit_until_, snd_nxt_);
+    snd_nxt_ = snd_una_;
     trySendData();
     armRtoTimer();
 }

@@ -50,6 +50,14 @@ struct TcpParams {
     uint32_t dupack_thresh = 3;
     bool delayed_ack = true;
     SimTime delayed_ack_timeout = SimTime::ms(40);
+    /**
+     * Consecutive RTOs without forward progress before the connection
+     * aborts with ETIMEDOUT (Linux tcp_retries2).  A peer that crashed
+     * silently must produce a timeout-driven abort, never a hang.
+     */
+    uint32_t max_retries = 15;
+    /** Handshake retry budget before abort (Linux tcp_syn_retries). */
+    uint32_t max_syn_retries = 6;
 
     static TcpParams fromConfig(const Config &cfg,
                                 const std::string &prefix);
@@ -120,6 +128,26 @@ class TcpConnection {
     /** Application close: FIN after all queued data. */
     void appClose();
 
+    /**
+     * Local abort: state goes Closed, every timer is cancelled, waiters
+     * are woken, and syscalls on the socket surface @p error.  Nothing
+     * is sent — this is the timeout path (the peer finds out via its
+     * own timers, or via RST when it later probes a rebooted host).
+     */
+    void abortConnection(long error);
+
+    /**
+     * The owning host crashed: silent teardown.  Like abortConnection
+     * but with no stats and no socket wakeups (Kernel::crash() wakes
+     * every socket centrally); the object stays alive — in-flight
+     * syscall coroutines still hold pointers to it — until reboot.
+     */
+    void crashTeardown();
+
+    /** Non-zero errno once the connection aborted locally. */
+    long abortError() const { return abort_errno_; }
+    bool aborted() const { return abort_errno_ != 0; }
+
     // --- introspection for tests and stats ---
     uint64_t cwndBytes() const { return cwnd_; }
     uint64_t ssthreshBytes() const { return ssthresh_; }
@@ -140,6 +168,7 @@ class TcpConnection {
     void onData(net::Packet &p);
     void armRtoTimer();
     void cancelRtoTimer();
+    void cancelAllTimers();
     void onRtoExpired();
     void rttSample(SimTime sample);
     uint64_t flightSize() const { return snd_nxt_ - snd_una_; }
@@ -217,6 +246,9 @@ class TcpConnection {
     EventId persist_timer_;
 
     bool connect_failed_ = false;
+    long abort_errno_ = 0;
+    /** Consecutive RTOs since the last forward-progress ACK. */
+    uint32_t retry_attempts_ = 0;
 
     uint64_t retransmits_ = 0;
     uint64_t rto_count_ = 0;

@@ -204,6 +204,36 @@ Cluster::totalTcpRtos() const
 }
 
 uint64_t
+Cluster::totalTcpAborts() const
+{
+    uint64_t n = 0;
+    for (const auto &s : servers_) {
+        n += s.kernel->stats().tcp_aborts;
+    }
+    return n;
+}
+
+uint64_t
+Cluster::totalTcpRecovered() const
+{
+    uint64_t n = 0;
+    for (const auto &s : servers_) {
+        n += s.kernel->stats().tcp_recovered;
+    }
+    return n;
+}
+
+uint64_t
+Cluster::totalCrashRxDiscards() const
+{
+    uint64_t n = 0;
+    for (const auto &s : servers_) {
+        n += s.kernel->stats().crash_rx_discards;
+    }
+    return n;
+}
+
+uint64_t
 Cluster::totalUdpSocketDrops() const
 {
     uint64_t n = 0;

@@ -123,6 +123,8 @@ class Cluster {
 
     os::Kernel &kernel(net::NodeId node) { return *servers_[node].kernel; }
     nic::NicModel &nic(net::NodeId node) { return *servers_[node].nic; }
+    /** The server's NIC->ToR link (lives in the server's rack partition). */
+    net::Link &uplink(net::NodeId node) { return *servers_[node].uplink; }
     topo::ClosNetwork &network() { return *network_; }
 
     /** Master random stream; fork per component/app. */
@@ -131,6 +133,9 @@ class Cluster {
     // --- aggregate statistics across all servers ---
     uint64_t totalTcpRetransmits() const;
     uint64_t totalTcpRtos() const;
+    uint64_t totalTcpAborts() const;
+    uint64_t totalTcpRecovered() const;
+    uint64_t totalCrashRxDiscards() const;
     uint64_t totalUdpSocketDrops() const;
     uint64_t totalNicRxDrops() const;
 

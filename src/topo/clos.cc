@@ -17,6 +17,8 @@ ClosParams::fromConfig(const Config &cfg, const std::string &prefix)
         cfg.getUint(prefix + "racks_per_array", p.racks_per_array));
     p.num_arrays = static_cast<uint32_t>(
         cfg.getUint(prefix + "num_arrays", p.num_arrays));
+    p.uplink_planes = static_cast<uint32_t>(
+        cfg.getUint(prefix + "uplink_planes", p.uplink_planes));
     const std::string model =
         cfg.getString(prefix + "switch_model", "voq");
     if (model == "voq") {
@@ -53,6 +55,16 @@ hopClassName(HopClass h)
 }
 
 namespace {
+
+/** Deterministic 64-bit mix for ECMP flow hashing (splitmix64 finalizer). */
+uint64_t
+ecmpMix(uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
 
 /** Hooks that place everything on one simulator with plain links. */
 ClosPartitionHooks
@@ -96,12 +108,20 @@ ClosNetwork::build()
     if (S == 0 || R == 0 || A == 0) {
         fatal("ClosNetwork: all dimensions must be positive");
     }
+    if (params_.uplink_planes == 0) {
+        fatal("ClosNetwork: uplink_planes must be positive");
+    }
     const bool has_array_level = R > 1 || A > 1;
     const bool has_dc_level = A > 1;
+    // A single-rack topology has no array level, hence no planes.
+    if (!has_array_level) {
+        params_.uplink_planes = 1;
+    }
+    const uint32_t P = params_.uplink_planes;
 
-    // Rack switches: S server ports (+1 uplink when an array level
-    // exists).  Each ToR lives in its rack's partition.
-    const uint32_t tor_ports = S + (has_array_level ? 1 : 0);
+    // Rack switches: S server ports, plus one uplink per plane when an
+    // array level exists.  Each ToR lives in its rack's partition.
+    const uint32_t tor_ports = S + (has_array_level ? P : 0);
     const uint32_t num_racks = R * A;
     for (uint32_t r = 0; r < num_racks; ++r) {
         rack_switches_.push_back(makeSwitch(
@@ -111,60 +131,86 @@ ClosNetwork::build()
     server_links_.resize(static_cast<size_t>(num_racks) * S);
 
     if (has_array_level) {
-        // Array switches: R downlinks (+1 uplink when a DC level exists).
+        // Array switches: one per (array, plane), each with R downlinks
+        // (+1 uplink when a DC level exists).
         const uint32_t arr_ports = R + (has_dc_level ? 1 : 0);
         for (uint32_t a = 0; a < A; ++a) {
-            array_switches_.push_back(makeSwitch(
-                *hooks_.switch_sim, params_.array_sw, arr_ports,
-                "arr" + std::to_string(a)));
+            for (uint32_t p = 0; p < P; ++p) {
+                array_switches_.push_back(makeSwitch(
+                    *hooks_.switch_sim, params_.array_sw, arr_ports,
+                    P > 1 ? strprintf("arr%u.%u", a, p)
+                          : "arr" + std::to_string(a)));
+            }
         }
         // ToR <-> array trunks: the only links that straddle the
         // rack/switch partition boundary, so both directions go
-        // through the cross-link hook.
+        // through the cross-link hook.  ToR port S+p is plane p.
+        tor_up_links_.resize(static_cast<size_t>(num_racks) * P);
+        arr_down_links_.resize(static_cast<size_t>(num_racks) * P);
         for (uint32_t a = 0; a < A; ++a) {
-            for (uint32_t r = 0; r < R; ++r) {
-                const uint32_t rack = a * R + r;
-                switchm::Switch &tor = *rack_switches_[rack];
-                switchm::Switch &arr = *array_switches_[a];
-                // Up: ToR port S -> array ingress r.
-                auto up = makeTrunk(rack, true,
-                                    strprintf("tor%u.up", rack),
-                                    params_.rack_sw.port_bw);
-                up->connectTo(arr.inPort(r));
-                tor.attachOutLink(S, *up);
-                trunk_links_.push_back(std::move(up));
-                // Down: array egress r -> ToR ingress S.
-                auto down = makeTrunk(rack, false,
-                                      strprintf("arr%u.down%u", a, r),
-                                      params_.array_sw.port_bw);
-                down->connectTo(tor.inPort(S));
-                arr.attachOutLink(r, *down);
-                trunk_links_.push_back(std::move(down));
+            for (uint32_t p = 0; p < P; ++p) {
+                switchm::Switch &arr = *array_switches_[a * P + p];
+                for (uint32_t r = 0; r < R; ++r) {
+                    const uint32_t rack = a * R + r;
+                    switchm::Switch &tor = *rack_switches_[rack];
+                    // Up: ToR port S+p -> array(a, p) ingress r.
+                    auto up = makeTrunk(
+                        rack, true,
+                        P > 1 ? strprintf("tor%u.up%u", rack, p)
+                              : strprintf("tor%u.up", rack),
+                        params_.rack_sw.port_bw);
+                    up->connectTo(arr.inPort(r));
+                    tor.attachOutLink(S + p, *up);
+                    tor_up_links_[trunkIdx(rack, p)] = std::move(up);
+                    // Down: array(a, p) egress r -> ToR ingress S+p.
+                    auto down = makeTrunk(
+                        rack, false,
+                        P > 1 ? strprintf("arr%u.%u.down%u", a, p, r)
+                              : strprintf("arr%u.down%u", a, r),
+                        params_.array_sw.port_bw);
+                    down->connectTo(tor.inPort(S + p));
+                    arr.attachOutLink(r, *down);
+                    arr_down_links_[trunkIdx(rack, p)] = std::move(down);
+                }
             }
         }
     }
 
     if (has_dc_level) {
-        // The array<->DC trunks never leave the switch partition.
+        // The array<->DC trunks never leave the switch partition; DC
+        // port a*P+p faces array switch (a, p).
         Simulator &ssim = *hooks_.switch_sim;
-        dc_switch_ = makeSwitch(ssim, params_.dc_sw, A, "dc");
+        dc_switch_ = makeSwitch(ssim, params_.dc_sw, A * P, "dc");
+        arr_up_links_.resize(static_cast<size_t>(A) * P);
+        dc_down_links_.resize(static_cast<size_t>(A) * P);
         for (uint32_t a = 0; a < A; ++a) {
-            switchm::Switch &arr = *array_switches_[a];
-            auto up = std::make_unique<net::Link>(
-                ssim, strprintf("arr%u.up", a), params_.array_sw.port_bw,
-                params_.trunk_link_prop);
-            up->connectTo(dc_switch_->inPort(a));
-            arr.attachOutLink(R, *up);
-            trunk_links_.push_back(std::move(up));
+            for (uint32_t p = 0; p < P; ++p) {
+                switchm::Switch &arr = *array_switches_[a * P + p];
+                auto up = std::make_unique<net::Link>(
+                    ssim,
+                    P > 1 ? strprintf("arr%u.%u.up", a, p)
+                          : strprintf("arr%u.up", a),
+                    params_.array_sw.port_bw, params_.trunk_link_prop);
+                up->connectTo(dc_switch_->inPort(a * P + p));
+                arr.attachOutLink(R, *up);
+                arr_up_links_[a * P + p] = std::move(up);
 
-            auto down = std::make_unique<net::Link>(
-                ssim, strprintf("dc.down%u", a), params_.dc_sw.port_bw,
-                params_.trunk_link_prop);
-            down->connectTo(arr.inPort(R));
-            dc_switch_->attachOutLink(a, *down);
-            trunk_links_.push_back(std::move(down));
+                auto down = std::make_unique<net::Link>(
+                    ssim, strprintf("dc.down%u", a * P + p),
+                    params_.dc_sw.port_bw, params_.trunk_link_prop);
+                down->connectTo(arr.inPort(R));
+                dc_switch_->attachOutLink(a * P + p, *down);
+                dc_down_links_[a * P + p] = std::move(down);
+            }
         }
     }
+
+    // Everything starts healthy; one liveness replica per rack
+    // partition (see FabricView).
+    FabricView healthy;
+    healthy.trunk_up.assign(static_cast<size_t>(num_racks) * P, 1);
+    healthy.array_up.assign(static_cast<size_t>(A) * P, 1);
+    views_.assign(num_racks, healthy);
 }
 
 std::unique_ptr<net::Link>
@@ -239,6 +285,199 @@ ClosNetwork::attachServerSink(net::NodeId node, net::PacketSink &nic_sink)
     server_links_[node] = std::move(link);
 }
 
+void
+ClosNetwork::checkTrunk(uint32_t rack, uint32_t plane) const
+{
+    if (!hasArrayLevel()) {
+        fatal("ClosNetwork: no trunks in a single-rack topology");
+    }
+    if (rack >= numRacks() || plane >= params_.uplink_planes) {
+        fatal("ClosNetwork: trunk (rack %u, plane %u) out of range "
+              "(%u racks, %u planes)",
+              rack, plane, numRacks(), params_.uplink_planes);
+    }
+}
+
+net::Link &
+ClosNetwork::trunkUpLink(uint32_t rack, uint32_t plane)
+{
+    checkTrunk(rack, plane);
+    return *tor_up_links_[trunkIdx(rack, plane)];
+}
+
+net::Link &
+ClosNetwork::trunkDownLink(uint32_t rack, uint32_t plane)
+{
+    checkTrunk(rack, plane);
+    return *arr_down_links_[trunkIdx(rack, plane)];
+}
+
+net::Link *
+ClosNetwork::serverLink(net::NodeId node)
+{
+    checkNode(node);
+    return server_links_[node].get();
+}
+
+void
+ClosNetwork::scheduleViewUpdate(SimTime at,
+                                const std::function<void(FabricView &)> &fn)
+{
+    // Replicate the update into every rack partition at the same
+    // instant: each replica is written only by its own partition's
+    // event, so routing state never crosses a partition boundary.
+    for (uint32_t r = 0; r < numRacks(); ++r) {
+        FabricView *view = &views_[r];
+        hooks_.rack_sim(r).scheduleAt(at, [view, fn] { fn(*view); });
+    }
+}
+
+void
+ClosNetwork::scheduleTrunkState(SimTime at, uint32_t rack, uint32_t plane,
+                                bool up)
+{
+    checkTrunk(rack, plane);
+    const uint32_t P = params_.uplink_planes;
+    scheduleViewUpdate(at, [rack, plane, P, up](FabricView &v) {
+        v.trunk_up[static_cast<size_t>(rack) * P + plane] = up ? 1 : 0;
+    });
+    // Physical state flips in each link's owning partition.
+    net::Link *up_link = tor_up_links_[trunkIdx(rack, plane)].get();
+    hooks_.rack_sim(rack).scheduleAt(at,
+                                     [up_link, up] { up_link->setUp(up); });
+    net::Link *down_link = arr_down_links_[trunkIdx(rack, plane)].get();
+    hooks_.switch_sim->scheduleAt(
+        at, [down_link, up] { down_link->setUp(up); });
+}
+
+void
+ClosNetwork::scheduleTrunkDegrade(SimTime at, uint32_t rack,
+                                  uint32_t plane, double loss_prob,
+                                  SimTime extra_latency, uint64_t seed)
+{
+    checkTrunk(rack, plane);
+    // A brownout is degraded, not dead: routing keeps using the plane,
+    // so no view update — TCP absorbs the loss and latency.
+    net::Link *up_link = tor_up_links_[trunkIdx(rack, plane)].get();
+    hooks_.rack_sim(rack).scheduleAt(
+        at, [up_link, loss_prob, extra_latency, seed] {
+            up_link->setDegraded(loss_prob, extra_latency, seed);
+        });
+    net::Link *down_link = arr_down_links_[trunkIdx(rack, plane)].get();
+    hooks_.switch_sim->scheduleAt(
+        at, [down_link, loss_prob, extra_latency, seed] {
+            down_link->setDegraded(loss_prob, extra_latency, seed);
+        });
+}
+
+void
+ClosNetwork::scheduleTrunkRepair(SimTime at, uint32_t rack, uint32_t plane)
+{
+    checkTrunk(rack, plane);
+    net::Link *up_link = tor_up_links_[trunkIdx(rack, plane)].get();
+    hooks_.rack_sim(rack).scheduleAt(at,
+                                     [up_link] { up_link->clearDegraded(); });
+    net::Link *down_link = arr_down_links_[trunkIdx(rack, plane)].get();
+    hooks_.switch_sim->scheduleAt(
+        at, [down_link] { down_link->clearDegraded(); });
+}
+
+void
+ClosNetwork::scheduleArraySwitchState(SimTime at, uint32_t array,
+                                      uint32_t plane, bool up)
+{
+    if (!hasArrayLevel()) {
+        fatal("ClosNetwork: no array switches in a single-rack topology");
+    }
+    const uint32_t P = params_.uplink_planes;
+    if (array >= params_.num_arrays || plane >= P) {
+        fatal("ClosNetwork: array switch (%u, %u) out of range "
+              "(%u arrays, %u planes)",
+              array, plane, params_.num_arrays, P);
+    }
+    scheduleViewUpdate(at, [array, plane, P, up](FabricView &v) {
+        v.array_up[static_cast<size_t>(array) * P + plane] = up ? 1 : 0;
+    });
+    // A crashed switch takes every attached trunk with it: links toward
+    // it drop at their transmitters, its own egress links drain its
+    // queued packets into counted drops.
+    const uint32_t R = params_.racks_per_array;
+    for (uint32_t r = 0; r < R; ++r) {
+        const uint32_t rack = array * R + r;
+        net::Link *up_link = tor_up_links_[trunkIdx(rack, plane)].get();
+        hooks_.rack_sim(rack).scheduleAt(
+            at, [up_link, up] { up_link->setUp(up); });
+        net::Link *down_link = arr_down_links_[trunkIdx(rack, plane)].get();
+        hooks_.switch_sim->scheduleAt(
+            at, [down_link, up] { down_link->setUp(up); });
+    }
+    if (dc_switch_) {
+        net::Link *dc_up = arr_up_links_[array * P + plane].get();
+        net::Link *dc_down = dc_down_links_[array * P + plane].get();
+        hooks_.switch_sim->scheduleAt(at, [dc_up, dc_down, up] {
+            dc_up->setUp(up);
+            dc_down->setUp(up);
+        });
+    }
+}
+
+uint64_t
+ClosNetwork::rerouteCount() const
+{
+    uint64_t n = 0;
+    for (const auto &v : views_) {
+        n += v.reroutes;
+    }
+    return n;
+}
+
+namespace {
+
+/** Flow hash: stable under plane liveness changes. */
+uint64_t
+flowHash(net::NodeId src, net::NodeId dst)
+{
+    return ecmpMix((static_cast<uint64_t>(src) << 32) |
+                   (static_cast<uint64_t>(dst) + 1));
+}
+
+/**
+ * ECMP plane choice: the hash-preferred plane if live, else the
+ * hash-selected live plane (counted as a reroute), else — no live plane
+ * at all — the preferred plane unchanged: the flow blackholes into a
+ * downed link whose drop counters tell the story.
+ */
+template <typename LiveFn>
+uint32_t
+choosePlane(uint64_t h, uint32_t planes, LiveFn live, uint64_t &reroutes)
+{
+    const auto pref = static_cast<uint32_t>(h % planes);
+    if (live(pref)) {
+        return pref;
+    }
+    uint32_t n_live = 0;
+    for (uint32_t p = 0; p < planes; ++p) {
+        n_live += live(p) ? 1 : 0;
+    }
+    if (n_live == 0) {
+        return pref;
+    }
+    uint32_t k = static_cast<uint32_t>(h % n_live);
+    for (uint32_t p = 0; p < planes; ++p) {
+        if (!live(p)) {
+            continue;
+        }
+        if (k == 0) {
+            ++reroutes;
+            return p;
+        }
+        --k;
+    }
+    return pref; // unreachable
+}
+
+} // namespace
+
 net::SourceRoute
 ClosNetwork::route(net::NodeId src, net::NodeId dst) const
 {
@@ -249,6 +488,7 @@ ClosNetwork::route(net::NodeId src, net::NodeId dst) const
     }
     const uint32_t S = params_.servers_per_rack;
     const uint32_t R = params_.racks_per_array;
+    const uint32_t P = params_.uplink_planes;
     const auto dst_idx = static_cast<uint16_t>(indexInRack(dst));
     const auto dst_rack_local =
         static_cast<uint16_t>(rackOf(dst) % R);
@@ -256,14 +496,57 @@ ClosNetwork::route(net::NodeId src, net::NodeId dst) const
     if (rackOf(src) == rackOf(dst)) {
         return net::SourceRoute({dst_idx});
     }
-    if (arrayOf(src) == arrayOf(dst)) {
-        return net::SourceRoute({static_cast<uint16_t>(S),
+
+    // Reads only the calling rack's liveness replica — safe and
+    // identical across sequential/parallel execution.
+    const uint32_t src_rack = rackOf(src);
+    const uint32_t dst_rack = rackOf(dst);
+    const uint32_t a_src = arrayOf(src);
+    const uint32_t a_dst = arrayOf(dst);
+    const FabricView &v = views_[src_rack];
+    const uint64_t h = flowHash(src, dst);
+
+    if (a_src == a_dst) {
+        // One plane carries the whole ToR-array-ToR path.
+        const uint32_t p = choosePlane(
+            h, P,
+            [&](uint32_t q) {
+                return v.trunk_up[trunkIdx(src_rack, q)] &&
+                       v.array_up[a_src * P + q] &&
+                       v.trunk_up[trunkIdx(dst_rack, q)];
+            },
+            v.reroutes);
+        return net::SourceRoute({static_cast<uint16_t>(S + p),
                                  dst_rack_local, dst_idx});
     }
-    return net::SourceRoute({static_cast<uint16_t>(S),
+
+    // Cross-array: ascent and descent planes chosen independently (the
+    // DC level joins all planes), with decorrelated hashes.
+    const uint32_t p_up = choosePlane(
+        h, P,
+        [&](uint32_t q) {
+            return v.trunk_up[trunkIdx(src_rack, q)] &&
+                   v.array_up[a_src * P + q];
+        },
+        v.reroutes);
+    const uint32_t p_down = choosePlane(
+        ecmpMix(h), P,
+        [&](uint32_t q) {
+            return v.array_up[a_dst * P + q] &&
+                   v.trunk_up[trunkIdx(dst_rack, q)];
+        },
+        v.reroutes);
+    return net::SourceRoute({static_cast<uint16_t>(S + p_up),
                              static_cast<uint16_t>(R),
-                             static_cast<uint16_t>(arrayOf(dst)),
+                             static_cast<uint16_t>(a_dst * P + p_down),
                              dst_rack_local, dst_idx});
+}
+
+uint32_t
+ClosNetwork::preferredPlane(net::NodeId src, net::NodeId dst) const
+{
+    return static_cast<uint32_t>(flowHash(src, dst) %
+                                 params_.uplink_planes);
 }
 
 HopClass
@@ -308,6 +591,41 @@ ClosNetwork::totalForwarded() const
         n += dc_switch_->stats().forwarded_pkts;
     }
     return n;
+}
+
+namespace {
+
+template <typename Fn>
+uint64_t
+sumLinks(const std::vector<std::unique_ptr<net::Link>> &links, Fn fn)
+{
+    uint64_t n = 0;
+    for (const auto &l : links) {
+        if (l) {
+            n += fn(*l);
+        }
+    }
+    return n;
+}
+
+} // namespace
+
+uint64_t
+ClosNetwork::totalLinkDownDrops() const
+{
+    auto drops = [](const net::Link &l) { return l.downDrops(); };
+    return sumLinks(tor_up_links_, drops) + sumLinks(arr_down_links_, drops) +
+           sumLinks(arr_up_links_, drops) + sumLinks(dc_down_links_, drops) +
+           sumLinks(server_links_, drops);
+}
+
+uint64_t
+ClosNetwork::totalLinkDegradeDrops() const
+{
+    auto drops = [](const net::Link &l) { return l.degradeDrops(); };
+    return sumLinks(tor_up_links_, drops) + sumLinks(arr_down_links_, drops) +
+           sumLinks(arr_up_links_, drops) + sumLinks(dc_down_links_, drops) +
+           sumLinks(server_links_, drops);
 }
 
 } // namespace topo

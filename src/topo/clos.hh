@@ -14,6 +14,18 @@
  * Degenerate configurations are first-class: a single rack builds just
  * a ToR (the paper's 16-node validation cluster), a single array builds
  * two levels without a datacenter switch (the 500-node setup).
+ *
+ * Fault-aware ECMP: with uplink_planes > 1 the array level is
+ * replicated into parallel planes — each ToR gets one uplink per plane
+ * and each array position becomes uplink_planes independent switches —
+ * and route() hashes each (src, dst) flow onto a plane, skipping planes
+ * whose trunks or switches are administratively down.  Liveness is
+ * tracked in per-rack-partition FabricView replicas that are only ever
+ * written by events scheduled into every partition at the same
+ * simulated instant, so sequential and sharded-parallel runs make
+ * identical routing decisions (faults are events, never wall-clock).
+ * When no plane is live the flow keeps its hash-preferred plane and the
+ * downed link accounts the drops — the fabric degrades, never panics.
  */
 
 #include <functional>
@@ -40,6 +52,14 @@ struct ClosParams {
     uint32_t servers_per_rack = 31;
     uint32_t racks_per_array = 16;
     uint32_t num_arrays = 4;
+
+    /**
+     * Parallel array-switch planes (ECMP width).  1 reproduces the
+     * paper's single-uplink topology; >1 gives every ToR one uplink per
+     * plane so flows can reroute around a dead trunk or array switch.
+     * Ignored for single-rack topologies (no array level).
+     */
+    uint32_t uplink_planes = 1;
 
     SwitchModelKind switch_model = SwitchModelKind::Voq;
 
@@ -142,6 +162,61 @@ class ClosNetwork {
     uint32_t rackOf(net::NodeId node) const;   ///< global rack index
     uint32_t arrayOf(net::NodeId node) const;
     uint32_t indexInRack(net::NodeId node) const;
+    uint32_t numRacks() const
+    {
+        return params_.racks_per_array * params_.num_arrays;
+    }
+    uint32_t planes() const { return params_.uplink_planes; }
+    bool hasArrayLevel() const { return !array_switches_.empty(); }
+
+    // --- fault surface ---
+    // Every mutation is *scheduled* through the owning simulators'
+    // event queues, never applied synchronously: routing-view updates
+    // are replicated into every rack partition at the same instant and
+    // physical link state changes run in the partition that owns each
+    // link, so sequential and sharded-parallel runs order them
+    // identically.  Call before the run starts (or from an event) with
+    // @p at >= the current time of every partition.
+
+    /** Cut (or restore) both directions of rack @p rack's plane-@p
+     *  plane trunk at time @p at; flows rehash off (or back onto) the
+     *  plane at the same instant fabric-wide. */
+    void scheduleTrunkState(SimTime at, uint32_t rack, uint32_t plane,
+                            bool up);
+
+    /** Brownout both trunk directions: seeded Bernoulli loss plus extra
+     *  latency.  Routing still uses the plane (a browned-out trunk is
+     *  degraded, not dead); TCP absorbs the loss. */
+    void scheduleTrunkDegrade(SimTime at, uint32_t rack, uint32_t plane,
+                              double loss_prob, SimTime extra_latency,
+                              uint64_t seed);
+
+    /** End a brownout started by scheduleTrunkDegrade. */
+    void scheduleTrunkRepair(SimTime at, uint32_t rack, uint32_t plane);
+
+    /** Crash (or restart) array switch (@p array, @p plane): all its
+     *  attached trunks drop, its queues drain into counted drops, and
+     *  flows reroute to surviving planes. */
+    void scheduleArraySwitchState(SimTime at, uint32_t array,
+                                  uint32_t plane, bool up);
+
+    /** ToR->array trunk for (rack, plane); fatal without array level. */
+    net::Link &trunkUpLink(uint32_t rack, uint32_t plane);
+    /** array->ToR trunk for (rack, plane). */
+    net::Link &trunkDownLink(uint32_t rack, uint32_t plane);
+    /** ToR->server link, null until attachServerSink(node) ran. */
+    net::Link *serverLink(net::NodeId node);
+
+    /** Plane the ECMP hash assigns (src, dst) with all planes live. */
+    uint32_t preferredPlane(net::NodeId src, net::NodeId dst) const;
+
+    /** Packets steered off their hash-preferred plane by a fault. */
+    uint64_t rerouteCount() const;
+
+    /** Frames dropped fabric-wide because a link was down. */
+    uint64_t totalLinkDownDrops() const;
+    /** Frames lost fabric-wide to link brownouts. */
+    uint64_t totalLinkDegradeDrops() const;
 
     // --- introspection / stats ---
     size_t numRackSwitches() const { return rack_switches_.size(); }
@@ -160,6 +235,19 @@ class ClosNetwork {
     uint64_t totalForwarded() const;
 
   private:
+    /**
+     * Per-rack-partition replica of fabric liveness.  Each rack's
+     * route() calls read only its own replica; replicas are written
+     * only by events scheduleViewUpdate() places into every rack
+     * partition at the same instant — no cross-partition sharing, no
+     * races, identical decisions in sequential and parallel runs.
+     */
+    struct FabricView {
+        std::vector<uint8_t> trunk_up; ///< [rack * planes + plane]
+        std::vector<uint8_t> array_up; ///< [array * planes + plane]
+        mutable uint64_t reroutes = 0; ///< counted by route()
+    };
+
     std::unique_ptr<switchm::Switch> makeSwitch(
         Simulator &sim, const switchm::SwitchParams &base, uint32_t ports,
         const std::string &name);
@@ -168,15 +256,30 @@ class ClosNetwork {
                                          Bandwidth bw);
     void build();
     void checkNode(net::NodeId node) const;
+    void checkTrunk(uint32_t rack, uint32_t plane) const;
+
+    /** Apply @p fn to every rack's view replica at time @p at. */
+    void scheduleViewUpdate(SimTime at,
+                            const std::function<void(FabricView &)> &fn);
+
+    size_t trunkIdx(uint32_t rack, uint32_t plane) const
+    {
+        return static_cast<size_t>(rack) * params_.uplink_planes + plane;
+    }
 
     ClosPartitionHooks hooks_;
     ClosParams params_;
 
     std::vector<std::unique_ptr<switchm::Switch>> rack_switches_;
+    /** Array switches, indexed [array * planes + plane]. */
     std::vector<std::unique_ptr<switchm::Switch>> array_switches_;
     std::unique_ptr<switchm::Switch> dc_switch_;
-    std::vector<std::unique_ptr<net::Link>> trunk_links_;
+    std::vector<std::unique_ptr<net::Link>> tor_up_links_;   ///< [rack*P+p]
+    std::vector<std::unique_ptr<net::Link>> arr_down_links_; ///< [rack*P+p]
+    std::vector<std::unique_ptr<net::Link>> arr_up_links_;   ///< [a*P+p]
+    std::vector<std::unique_ptr<net::Link>> dc_down_links_;  ///< [a*P+p]
     std::vector<std::unique_ptr<net::Link>> server_links_;
+    std::vector<FabricView> views_; ///< one per rack partition
 };
 
 } // namespace topo

@@ -165,8 +165,8 @@ TEST(TcpLoss, RandomLossStillDeliversEverythingExactlyOnce)
     for (uint64_t seed : {11u, 22u, 33u}) {
         LossyHarness h;
         Result r;
-        h.to_b.dropRandomly(0.02, Rng(seed));
-        h.to_a.dropRandomly(0.02, Rng(seed + 1));
+        h.to_b.dropRandomly(0.02, seed);
+        h.to_a.dropRandomly(0.02, seed + 1);
         h.b.kernel.spawnProcess(sinkServer(h.b.kernel, r));
         h.a.kernel.spawnProcess(bulkClient(h.a.kernel, 500000, r));
         h.sim.run();
@@ -181,7 +181,7 @@ TEST(TcpLoss, HeavyLossEventuallyCompletes)
 {
     LossyHarness h;
     Result r;
-    h.to_b.dropRandomly(0.2, Rng(7));
+    h.to_b.dropRandomly(0.2, 7);
     h.b.kernel.spawnProcess(sinkServer(h.b.kernel, r));
     h.a.kernel.spawnProcess(bulkClient(h.a.kernel, 50000, r));
     h.sim.run();
@@ -196,7 +196,7 @@ TEST(TcpLoss, LossScheduleIsDeterministic)
     auto run = [] {
         LossyHarness h;
         Result r;
-        h.to_b.dropRandomly(0.05, Rng(99));
+        h.to_b.dropRandomly(0.05, 99);
         h.b.kernel.spawnProcess(sinkServer(h.b.kernel, r));
         h.a.kernel.spawnProcess(bulkClient(h.a.kernel, 300000, r));
         h.sim.run();

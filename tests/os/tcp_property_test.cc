@@ -96,8 +96,8 @@ TEST_P(TcpProperties, ExactlyOnceDeliveryUnderLoss)
         a.tx_link->connectTo(to_b);
         b.tx_link->connectTo(to_a);
         if (c.loss > 0) {
-            to_b.dropRandomly(c.loss, Rng(c.seed));
-            to_a.dropRandomly(c.loss / 2, Rng(c.seed * 3 + 1));
+            to_b.dropRandomly(c.loss, c.seed);
+            to_a.dropRandomly(c.loss / 2, c.seed * 3 + 1);
         }
 
         TcpParams tp;

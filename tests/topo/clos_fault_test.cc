@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/clos.hh"
+
+namespace diablo {
+namespace topo {
+namespace {
+
+using namespace diablo::time_literals;
+
+ClosParams
+planedParams()
+{
+    ClosParams p;
+    p.servers_per_rack = 4;
+    p.racks_per_array = 3;
+    p.num_arrays = 1;
+    p.uplink_planes = 2;
+    return p;
+}
+
+/** First hop of a cross-rack route is the ToR uplink port
+ *  servers_per_rack + plane, which identifies the chosen plane. */
+uint32_t
+chosenPlane(const ClosNetwork &net, net::NodeId src, net::NodeId dst)
+{
+    net::SourceRoute r = net.route(src, dst);
+    const uint32_t first = static_cast<uint32_t>(r.hop());
+    EXPECT_GE(first, net.params().servers_per_rack);
+    return first - net.params().servers_per_rack;
+}
+
+/** A cross-rack (src, dst) pair whose ECMP hash prefers @p plane. */
+std::pair<net::NodeId, net::NodeId>
+flowOnPlane(const ClosNetwork &net, uint32_t plane)
+{
+    const uint32_t spr = net.params().servers_per_rack;
+    for (net::NodeId s = 0; s < spr; ++s) {
+        for (net::NodeId d = spr; d < net.totalServers(); ++d) {
+            if (net.preferredPlane(s, d) == plane) {
+                return {s, d};
+            }
+        }
+    }
+    ADD_FAILURE() << "no flow prefers plane " << plane;
+    return {0, spr};
+}
+
+TEST(ClosFault, PlanedTopologyShape)
+{
+    Simulator sim;
+    ClosNetwork net(sim, planedParams());
+    // The array level is replicated per plane; ToRs get one uplink each.
+    EXPECT_EQ(net.planes(), 2u);
+    EXPECT_EQ(net.numArraySwitches(), 2u);
+    EXPECT_EQ(net.numRackSwitches(), 3u);
+    EXPECT_EQ(net.rackSwitch(0).params().num_ports, 4u + 2u);
+    EXPECT_EQ(net.arraySwitch(0).params().num_ports, 3u);
+}
+
+TEST(ClosFault, EcmpSpreadsFlowsAcrossPlanes)
+{
+    Simulator sim;
+    ClosNetwork net(sim, planedParams());
+    std::set<uint32_t> used;
+    for (net::NodeId s = 0; s < 4; ++s) {
+        for (net::NodeId d = 4; d < net.totalServers(); ++d) {
+            const uint32_t p = net.preferredPlane(s, d);
+            EXPECT_LT(p, net.planes());
+            EXPECT_EQ(chosenPlane(net, s, d), p); // all planes live
+            used.insert(p);
+        }
+    }
+    EXPECT_EQ(used.size(), 2u); // the hash actually spreads
+}
+
+TEST(ClosFault, TrunkDownReroutesOntoSurvivingPlane)
+{
+    Simulator sim;
+    ClosNetwork net(sim, planedParams());
+    auto [src, dst] = flowOnPlane(net, 0);
+
+    net.scheduleTrunkState(1_us, net.rackOf(src), /*plane=*/0,
+                           /*up=*/false);
+    sim.run();
+
+    EXPECT_FALSE(net.trunkUpLink(net.rackOf(src), 0).isUp());
+    EXPECT_FALSE(net.trunkDownLink(net.rackOf(src), 0).isUp());
+
+    const uint64_t before = net.rerouteCount();
+    EXPECT_EQ(chosenPlane(net, src, dst), 1u);
+    EXPECT_EQ(net.preferredPlane(src, dst), 0u); // the hash is unchanged
+    EXPECT_GT(net.rerouteCount(), before);
+
+    // Restore: the flow rehashes back onto its preferred plane.
+    net.scheduleTrunkState(2_us, net.rackOf(src), 0, true);
+    sim.run();
+    EXPECT_TRUE(net.trunkUpLink(net.rackOf(src), 0).isUp());
+    EXPECT_EQ(chosenPlane(net, src, dst), 0u);
+}
+
+TEST(ClosFault, ArraySwitchCrashReroutesEveryRack)
+{
+    Simulator sim;
+    ClosNetwork net(sim, planedParams());
+
+    net.scheduleArraySwitchState(1_us, /*array=*/0, /*plane=*/0,
+                                 /*up=*/false);
+    sim.run();
+
+    // Every rack's plane-0 trunk died with the switch; all traffic now
+    // takes plane 1 regardless of hash preference.
+    for (uint32_t rack = 0; rack < net.numRacks(); ++rack) {
+        EXPECT_FALSE(net.trunkUpLink(rack, 0).isUp());
+    }
+    for (net::NodeId s = 0; s < 4; ++s) {
+        for (net::NodeId d = 4; d < net.totalServers(); ++d) {
+            EXPECT_EQ(chosenPlane(net, s, d), 1u);
+        }
+    }
+}
+
+TEST(ClosFault, NoLivePlaneDegradesWithoutPanicking)
+{
+    Simulator sim;
+    ClosNetwork net(sim, planedParams());
+    auto [src, dst] = flowOnPlane(net, 0);
+    const uint32_t rack = net.rackOf(src);
+
+    net.scheduleTrunkState(1_us, rack, 0, false);
+    net.scheduleTrunkState(1_us, rack, 1, false);
+    sim.run();
+
+    // Routing falls back to the hash-preferred plane; the downed trunk
+    // accounts the drops instead of the fabric panicking.
+    EXPECT_EQ(chosenPlane(net, src, dst), net.preferredPlane(src, dst));
+    EXPECT_EQ(net.totalLinkDownDrops(), 0u); // nothing transmitted yet
+}
+
+TEST(ClosFault, TrunkBrownoutDegradesAndRepairs)
+{
+    Simulator sim;
+    ClosNetwork net(sim, planedParams());
+
+    net.scheduleTrunkDegrade(1_us, /*rack=*/1, /*plane=*/1,
+                             /*loss_prob=*/0.25, /*extra=*/3_us,
+                             /*seed=*/99);
+    sim.run();
+    EXPECT_TRUE(net.trunkUpLink(1, 1).degraded());
+    EXPECT_TRUE(net.trunkDownLink(1, 1).degraded());
+    // A browned-out trunk is degraded, not dead: routing still uses it.
+    EXPECT_TRUE(net.trunkUpLink(1, 1).isUp());
+
+    net.scheduleTrunkRepair(5_us, 1, 1);
+    sim.run();
+    EXPECT_FALSE(net.trunkUpLink(1, 1).degraded());
+    EXPECT_FALSE(net.trunkDownLink(1, 1).degraded());
+}
+
+} // namespace
+} // namespace topo
+} // namespace diablo

@@ -12,21 +12,72 @@
  *
  * Unknown keys are ignored by the models that do not read them, so the
  * full key set is discoverable from the *Params::fromConfig readers.
+ *
+ * --fault-plan <file> injects a deterministic fault timeline (see
+ * sim::FaultPlan::fromFile for the key=value schema) into the run;
+ * fault.<i>.* keys given directly on the command line work too.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 
 #include "apps/incast.hh"
 #include "apps/mc_experiment.hh"
 #include "analysis/report.hh"
+#include "sim/fault.hh"
 
 using namespace diablo;
 
 namespace {
 
+/**
+ * Build the run's fault plan: the --fault-plan file if given, else any
+ * fault.<i>.* keys from the command line.  Returns an empty plan when
+ * the run is fault-free.
+ */
+sim::FaultPlan
+makeFaultPlan(const Config &cfg, const char *plan_file)
+{
+    if (plan_file != nullptr) {
+        return sim::FaultPlan::fromFile(plan_file);
+    }
+    return sim::FaultPlan::fromConfig(cfg);
+}
+
+void
+installFaults(sim::Cluster &cluster, const sim::FaultPlan &plan,
+              std::unique_ptr<sim::FaultController> &fc)
+{
+    if (plan.empty()) {
+        return;
+    }
+    std::printf("%s", plan.str().c_str());
+    fc = std::make_unique<sim::FaultController>(cluster, plan);
+    fc->install();
+}
+
+void
+printFaultOutcome(sim::Cluster &cluster)
+{
+    topo::ClosNetwork &net = cluster.network();
+    std::printf("faults: reroutes=%llu link_down_drops=%llu "
+                "link_degrade_drops=%llu tcp_aborts=%llu "
+                "tcp_recovered=%llu crash_rx_discards=%llu\n",
+                static_cast<unsigned long long>(net.rerouteCount()),
+                static_cast<unsigned long long>(
+                    net.totalLinkDownDrops()),
+                static_cast<unsigned long long>(
+                    net.totalLinkDegradeDrops()),
+                static_cast<unsigned long long>(cluster.totalTcpAborts()),
+                static_cast<unsigned long long>(
+                    cluster.totalTcpRecovered()),
+                static_cast<unsigned long long>(
+                    cluster.totalCrashRxDiscards()));
+}
+
 int
-runMemcached(const Config &cfg)
+runMemcached(const Config &cfg, const sim::FaultPlan &plan)
 {
     apps::McExperimentParams p;
     p.cluster = cfg.getDouble("topo.rack.port_gbps", 1.0) > 5
@@ -49,6 +100,8 @@ runMemcached(const Config &cfg)
 
     Simulator sim;
     apps::McExperiment exp(sim, p);
+    std::unique_ptr<sim::FaultController> fc;
+    installFaults(exp.cluster(), plan, fc);
     exp.run();
     const auto &r = exp.result();
 
@@ -78,11 +131,14 @@ runMemcached(const Config &cfg)
                     exp.cluster().network().totalSwitchDrops()),
                 static_cast<unsigned long long>(
                     exp.cluster().totalTcpRtos()));
+    if (!plan.empty()) {
+        printFaultOutcome(exp.cluster());
+    }
     return 0;
 }
 
 int
-runIncast(const Config &cfg)
+runIncast(const Config &cfg, const sim::FaultPlan &plan)
 {
     const uint32_t n = static_cast<uint32_t>(
         cfg.getUint("incast.servers", 8));
@@ -108,6 +164,8 @@ runIncast(const Config &cfg)
     }
     apps::IncastApp app(cluster, ip, 0, servers);
     app.install();
+    std::unique_ptr<sim::FaultController> fc;
+    installFaults(cluster, plan, fc);
     sim.run();
 
     const auto &r = app.result();
@@ -123,6 +181,9 @@ runIncast(const Config &cfg)
                     cluster.totalTcpRetransmits()));
     std::printf("iteration times (us): %s\n",
                 analysis::latencySummary(r.iteration_us).c_str());
+    if (!plan.empty()) {
+        printFaultOutcome(cluster);
+    }
     return 0;
 }
 
@@ -133,23 +194,34 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         std::fprintf(stderr,
-                     "usage: %s <memcached|incast> [key=value ...]\n",
+                     "usage: %s <memcached|incast> [--fault-plan <file>] "
+                     "[key=value ...]\n",
                      argv[0]);
         return 2;
     }
     Config cfg;
+    const char *plan_file = nullptr;
     for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--fault-plan") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--fault-plan needs a file path\n");
+                return 2;
+            }
+            plan_file = argv[++i];
+            continue;
+        }
         if (!cfg.parseAssignment(argv[i])) {
             std::fprintf(stderr, "not a key=value assignment: '%s'\n",
                          argv[i]);
             return 2;
         }
     }
+    const sim::FaultPlan plan = makeFaultPlan(cfg, plan_file);
     if (std::strcmp(argv[1], "memcached") == 0) {
-        return runMemcached(cfg);
+        return runMemcached(cfg, plan);
     }
     if (std::strcmp(argv[1], "incast") == 0) {
-        return runIncast(cfg);
+        return runIncast(cfg, plan);
     }
     std::fprintf(stderr, "unknown experiment '%s'\n", argv[1]);
     return 2;
