@@ -106,11 +106,18 @@ BM_ClusterIncastSharded(benchmark::State &state)
     const bool parallel = state.range(0) != 0;
     const auto racks = static_cast<uint32_t>(state.range(1));
     const auto spr = static_cast<uint32_t>(state.range(2));
+    // Worker cap for the fused parallel engine; 0 = hardware default.
+    // threads=1 is the degenerate-fusion case that must stay within
+    // striking distance of the sequential reference even on a 1-core
+    // runner (guarded in CI by tools/bench_guard.py).
+    const auto threads = static_cast<size_t>(state.range(3));
     uint64_t events = 0;
     uint64_t quanta = 0;
+    uint64_t workers = 0;
     for (auto _ : state) {
         const sim::ClusterParams params = benchParams(racks, spr);
         fame::PartitionSet ps(sim::Cluster::partitionsRequired(params));
+        ps.setParallelism(threads);
         sim::Cluster cluster(ps, params);
         apps::IncastApp app(cluster, benchWorkload(), 0,
                             crossRackServers(cluster));
@@ -126,20 +133,25 @@ BM_ClusterIncastSharded(benchmark::State &state)
         }
         events += ps.totalExecutedEvents();
         quanta = ps.lastRunQuanta();
+        workers = parallel ? ps.lastRunWorkers() : 1;
     }
     state.counters["quanta"] =
         benchmark::Counter(static_cast<double>(quanta));
+    state.counters["workers"] =
+        benchmark::Counter(static_cast<double>(workers));
     state.SetItemsProcessed(static_cast<int64_t>(events));
 }
 // Real time is the comparable axis (the parallel engine spends its
 // cycles on pooled worker threads, not the benchmark thread); process
 // CPU time additionally exposes the total host cost of the barriers.
 BENCHMARK(BM_ClusterIncastSharded)
-    ->Args({0, 4, 4})
-    ->Args({1, 4, 4})
-    ->Args({0, 8, 8})
-    ->Args({1, 8, 8})
-    ->ArgNames({"par", "racks", "spr"})
+    ->Args({0, 4, 4, 0})
+    ->Args({1, 4, 4, 1})
+    ->Args({1, 4, 4, 0})
+    ->Args({0, 8, 8, 0})
+    ->Args({1, 8, 8, 1})
+    ->Args({1, 8, 8, 0})
+    ->ArgNames({"par", "racks", "spr", "threads"})
     ->UseRealTime()
     ->MeasureProcessCPUTime()
     ->Unit(benchmark::kMillisecond);

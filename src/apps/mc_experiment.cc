@@ -9,9 +9,23 @@ namespace apps {
 
 McExperiment::McExperiment(Simulator &sim,
                            const McExperimentParams &params)
-    : sim_(sim), params_(params)
+    : sim_(&sim), params_(params)
 {
     cluster_ = std::make_unique<sim::Cluster>(sim, params_.cluster);
+    placeServers();
+}
+
+McExperiment::McExperiment(fame::PartitionSet &ps,
+                           const McExperimentParams &params)
+    : ps_(&ps), params_(params)
+{
+    cluster_ = std::make_unique<sim::Cluster>(ps, params_.cluster);
+    placeServers();
+}
+
+void
+McExperiment::placeServers()
+{
     const uint32_t total = cluster_->size();
     if (params_.num_servers >= total) {
         fatal("McExperiment: %u servers need at least %u nodes",
@@ -37,8 +51,12 @@ McExperiment::McExperiment(Simulator &sim,
 McExperiment::~McExperiment() = default;
 
 void
-McExperiment::run()
+McExperiment::run(bool parallel)
 {
+    if (parallel && ps_ == nullptr) {
+        fatal("McExperiment: run(parallel) needs the sharded "
+              "(PartitionSet) build");
+    }
     for (net::NodeId s : server_nodes_) {
         installMemcachedServer(*cluster_, s, params_.server);
     }
@@ -58,7 +76,6 @@ McExperiment::run()
                                params_.client, stats);
     }
 
-    const SimTime start = sim_.now();
     auto all_done = [this] {
         for (const auto &s : client_stats_) {
             if (!s->done) {
@@ -68,13 +85,46 @@ McExperiment::run()
         return true;
     };
     // Servers and daemons run forever; stop once every client finished.
-    while (!all_done()) {
-        if (sim_.idle()) {
-            panic("McExperiment: deadlock — clients not done, no events");
+    if (ps_ == nullptr) {
+        const SimTime start = sim_->now();
+        while (!all_done()) {
+            if (sim_->idle()) {
+                panic("McExperiment: deadlock — clients not done, "
+                      "no events");
+            }
+            sim_->executeNext();
         }
-        sim_.executeNext();
+        result_.elapsed = sim_->now() - start;
+    } else {
+        // The PartitionSet runs to a bound, not to a predicate, so
+        // drive it in windows and poll completion between them.  The
+        // window only quantizes the reported elapsed time; simulated
+        // behaviour is identical for any window size.
+        constexpr SimTime kWindow = SimTime::ms(100);
+        constexpr SimTime kCap = SimTime::sec(600);
+        const SimTime start = ps_->partition(0).now();
+        SimTime until = start;
+        uint64_t last_events = ps_->totalExecutedEvents();
+        while (!all_done()) {
+            if (until - start >= kCap) {
+                panic("McExperiment: clients not done after %s of "
+                      "simulated time", kCap.str().c_str());
+            }
+            until = until + kWindow;
+            if (parallel) {
+                ps_->runParallel(until);
+            } else {
+                ps_->runSequential(until);
+            }
+            const uint64_t events = ps_->totalExecutedEvents();
+            if (events == last_events && !all_done()) {
+                panic("McExperiment: deadlock — clients not done, "
+                      "no events");
+            }
+            last_events = events;
+        }
+        result_.elapsed = ps_->partition(0).now() - start;
     }
-    result_.elapsed = sim_.now() - start;
     result_.clients = static_cast<uint32_t>(client_stats_.size());
     result_.servers = static_cast<uint32_t>(server_nodes_.size());
     for (const auto &s : client_stats_) {

@@ -46,10 +46,25 @@ struct McExperimentResult {
 class McExperiment {
   public:
     McExperiment(Simulator &sim, const McExperimentParams &params);
+
+    /**
+     * Sharded build: the cluster is partitioned rack/switch-wise over
+     * @p ps (which must have sim::Cluster::partitionsRequired(
+     * params.cluster) partitions and outlive the experiment).  run()
+     * then drives the PartitionSet in bounded windows — sequentially
+     * or, with run(true), on the parallel engine; both produce
+     * bit-identical statistics.
+     */
+    McExperiment(fame::PartitionSet &ps, const McExperimentParams &params);
+
     ~McExperiment();
 
-    /** Install apps and run the simulation until every client is done. */
-    void run();
+    /**
+     * Install apps and run the simulation until every client is done.
+     * @p parallel selects runParallel over runSequential for a sharded
+     * experiment; it is ignored (and must be false) single-sim.
+     */
+    void run(bool parallel = false);
 
     const McExperimentResult &result() const { return result_; }
     sim::Cluster &cluster() { return *cluster_; }
@@ -59,7 +74,11 @@ class McExperiment {
     }
 
   private:
-    Simulator &sim_;
+    /** Pick the experiment's server nodes (shared ctor tail). */
+    void placeServers();
+
+    Simulator *sim_ = nullptr;         ///< non-null iff single-sim
+    fame::PartitionSet *ps_ = nullptr; ///< non-null iff sharded
     McExperimentParams params_;
     std::unique_ptr<sim::Cluster> cluster_;
     std::vector<net::NodeId> server_nodes_;

@@ -144,6 +144,20 @@ class InlineFunction {
 
     explicit operator bool() const noexcept { return ops_ != nullptr; }
 
+    /**
+     * True when a callable of type @p F is stored inline (no heap
+     * allocation).  Hot paths that must stay allocation-free — e.g.
+     * the cross-partition ChannelLink delivery closure posted once per
+     * message — static_assert this so a capture growing past the SBO
+     * budget is a compile error, not a silent per-message malloc.
+     */
+    template <typename F>
+    static constexpr bool
+    inlineable()
+    {
+        return fitsInline<std::remove_cvref_t<F>>();
+    }
+
     /** Invoke; const like std::function::operator() (shallow const). */
     void
     operator()() const

@@ -24,6 +24,13 @@ PartitionSet::Channel::post(SimTime when, EventFn fn)
               name_.c_str(), when.str().c_str(), src_,
               now.str().c_str(), min_latency_.str().c_str());
     }
+    if (pending_.empty()) {
+        // First post of this quantum: register on the posting worker's
+        // dirty list.  Posts run in source-partition events, so exactly
+        // one worker — the one the source partition is fused onto —
+        // ever touches this channel (and this list) within a quantum.
+        owner_->worker_dirty_[owner_->worker_of_[src_]].push_back(index_);
+    }
     pending_.push_back(Msg{when, std::move(fn)});
 }
 
@@ -37,6 +44,13 @@ PartitionSet::PartitionSet(size_t n)
         parts_.push_back(std::make_unique<Simulator>());
     }
     last_run_executed_.assign(n, 0);
+    weights_.assign(n, 1.0);
+    // A valid 1-worker fusion exists from birth, so Channel::post finds
+    // a dirty list even before the first run sets up its own fusion.
+    worker_of_.assign(n, 0);
+    worker_parts_.resize(1);
+    worker_min_.resize(1);
+    worker_dirty_.resize(1);
 }
 
 PartitionSet::~PartitionSet()
@@ -66,12 +80,14 @@ PartitionSet::makeChannel(size_t src, size_t dst, SimTime min_latency,
     ch->owner_ = this;
     ch->src_ = src;
     ch->dst_ = dst;
+    ch->index_ = static_cast<uint32_t>(channels_.size());
     ch->min_latency_ = min_latency;
     ch->name_ = name.empty()
                     ? strprintf("ch%zu(%zu->%zu)", channels_.size(), src,
                                 dst)
                     : std::move(name);
     channels_.push_back(std::move(ch));
+    quantum_cache_valid_ = false; // min channel latency may have dropped
     return *channels_.back();
 }
 
@@ -84,10 +100,11 @@ PartitionSet::setQuantum(SimTime q)
               q.str().c_str());
     }
     quantum_override_ = q;
+    quantum_cache_valid_ = false;
 }
 
 SimTime
-PartitionSet::quantum() const
+PartitionSet::computeQuantum() const
 {
     SimTime min_latency = SimTime::max();
     for (const auto &ch : channels_) {
@@ -108,24 +125,132 @@ PartitionSet::quantum() const
     return min_latency;
 }
 
-void
-PartitionSet::drainChannels()
+SimTime
+PartitionSet::quantum() const
 {
-    // Fixed channel order keeps destination-queue insertion sequence —
-    // and therefore same-timestamp tie-breaking — deterministic.
-    for (auto &ch : channels_) {
-        Simulator &dst = *parts_[ch->dst_];
-        for (auto &msg : ch->pending_) {
+    if (!quantum_cache_valid_) {
+        quantum_cache_ = computeQuantum();
+        quantum_cache_valid_ = true;
+    }
+    return quantum_cache_;
+}
+
+void
+PartitionSet::setParallelism(size_t n)
+{
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    if (run_active_) {
+        fatal("PartitionSet: setParallelism while a parallel run is "
+              "live");
+    }
+    threads_ = n;
+}
+
+size_t
+PartitionSet::parallelism() const
+{
+    if (threads_ != 0) {
+        return threads_;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+}
+
+void
+PartitionSet::setPartitionWeight(size_t i, double w)
+{
+    if (i >= parts_.size()) {
+        fatal("PartitionSet: setPartitionWeight(%zu): out of range", i);
+    }
+    if (!(w > 0.0)) {
+        fatal("PartitionSet: partition weight must be positive");
+    }
+    weights_[i] = w;
+}
+
+void
+PartitionSet::assignPartitions(size_t workers)
+{
+    worker_parts_.resize(workers);
+    for (auto &wp : worker_parts_) {
+        wp.clear();
+    }
+    worker_of_.resize(parts_.size());
+    worker_min_.resize(workers);
+    worker_dirty_.resize(workers);
+
+    if (workers == 1) {
+        for (size_t p = 0; p < parts_.size(); ++p) {
+            worker_of_[p] = 0;
+            worker_parts_[0].push_back(p);
+        }
+        return;
+    }
+
+    // Deterministic LPT greedy: heaviest partitions first, each onto
+    // the least-loaded worker (ties: lowest worker id).  Results never
+    // depend on the assignment — only wall-clock balance does.
+    std::vector<size_t> order(parts_.size());
+    for (size_t p = 0; p < parts_.size(); ++p) {
+        order[p] = p;
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [this](size_t a, size_t b) {
+                         return weights_[a] > weights_[b];
+                     });
+    std::vector<double> load(workers, 0.0);
+    for (size_t p : order) {
+        size_t best = 0;
+        for (size_t w = 1; w < workers; ++w) {
+            if (load[w] < load[best]) {
+                best = w;
+            }
+        }
+        load[best] += weights_[p];
+        worker_of_[p] = static_cast<uint32_t>(best);
+        worker_parts_[best].push_back(p);
+    }
+    // Within one worker, keep partition-index order (pure cosmetics —
+    // partitions are independent inside a quantum).
+    for (auto &wp : worker_parts_) {
+        std::sort(wp.begin(), wp.end());
+    }
+}
+
+SimTime
+PartitionSet::drainDirtyChannels()
+{
+    // Merge the per-worker dirty lists and drain in channel-creation
+    // order: the destination-queue insertion sequence — and therefore
+    // same-timestamp tie-breaking — must not depend on the fusion.
+    drain_scratch_.clear();
+    for (auto &dl : worker_dirty_) {
+        drain_scratch_.insert(drain_scratch_.end(), dl.begin(), dl.end());
+        dl.clear();
+    }
+    if (drain_scratch_.empty()) {
+        return SimTime::max();
+    }
+    std::sort(drain_scratch_.begin(), drain_scratch_.end());
+    SimTime min_when = SimTime::max();
+    for (uint32_t idx : drain_scratch_) {
+        Channel &ch = *channels_[idx];
+        Simulator &dst = *parts_[ch.dst_];
+        for (auto &msg : ch.pending_) {
             if (msg.when < dst.now()) {
                 panic("PartitionSet: channel %s: causality violation "
                       "(message at %s behind partition clock %s)",
-                      ch->name_.c_str(), msg.when.str().c_str(),
+                      ch.name_.c_str(), msg.when.str().c_str(),
                       dst.now().str().c_str());
             }
+            min_when = std::min(min_when, msg.when);
             dst.scheduleAt(msg.when, std::move(msg.fn));
         }
-        ch->pending_.clear();
+        // clear() keeps capacity: steady-state traffic re-posts into
+        // the same storage with no allocator round trips.
+        ch.pending_.clear();
     }
+    return min_when;
 }
 
 SimTime
@@ -144,12 +269,9 @@ PartitionSet::earliestPendingTime()
 }
 
 SimTime
-PartitionSet::nextWindowStart(SimTime t, SimTime q, SimTime until)
+PartitionSet::windowForEarliest(SimTime earliest, SimTime t, SimTime q,
+                                SimTime until)
 {
-    if (!skip_idle_) {
-        return t;
-    }
-    const SimTime earliest = earliestPendingTime();
     if (earliest >= until) {
         return until; // nothing left before the horizon
     }
@@ -160,6 +282,15 @@ PartitionSet::nextWindowStart(SimTime t, SimTime q, SimTime until)
     // exact same window sequence a patient unskipped run would.
     const SimTime snapped = earliest - (earliest % q);
     return std::max(t, snapped);
+}
+
+SimTime
+PartitionSet::nextWindowStart(SimTime t, SimTime q, SimTime until)
+{
+    if (!skip_idle_) {
+        return t;
+    }
+    return windowForEarliest(earliestPendingTime(), t, q, until);
 }
 
 void
@@ -205,6 +336,11 @@ void
 PartitionSet::runSequential(SimTime until)
 {
     const SimTime q = quantum();
+    // The reference engine is a 1-worker fusion for channel-dirty
+    // bookkeeping, but keeps the simple full-scan skip rule: it is the
+    // obviously-correct baseline the incremental parallel engine is
+    // checked against bit-for-bit.
+    assignPartitions(1);
     beginRunStats();
     SimTime t;
     while (t < until) {
@@ -216,7 +352,7 @@ PartitionSet::runSequential(SimTime until)
         for (auto &p : parts_) {
             p->runBefore(bound);
         }
-        drainChannels();
+        drainDirtyChannels();
         t = bound;
         ++quanta_;
     }
@@ -227,13 +363,23 @@ void
 PartitionSet::parallelQuantumEnd() noexcept
 {
     // Runs on the last worker arriving at the barrier, single-threaded
-    // (std::barrier sequences the completion step before releasing
-    // anyone).  Same nextWindowStart rule as runSequential, keeping the
-    // window sequence — and thus all results — identical.
-    drainChannels();
+    // (the barrier sequences the completion step before releasing
+    // anyone).  Incremental form of runSequential's loop tail: the
+    // earliest pending time is the fold of (a) each worker's published
+    // post-quantum minimum over its fused partitions and (b) the
+    // minima of the messages drained just now — the only two places
+    // future work can live — so no partition or channel scan happens
+    // here.  Window sequence, and thus every result, stays identical.
+    const SimTime msg_min = drainDirtyChannels();
     par_t_ = par_bound_;
     ++quanta_;
-    par_t_ = nextWindowStart(par_t_, par_q_, par_until_);
+    if (skip_idle_) {
+        SimTime earliest = msg_min;
+        for (size_t w = 0; w < par_workers_; ++w) {
+            earliest = std::min(earliest, worker_min_[w].v);
+        }
+        par_t_ = windowForEarliest(earliest, par_t_, par_q_, par_until_);
+    }
     par_bound_ = std::min(par_t_ + par_q_, par_until_);
     if (par_t_ >= par_until_) {
         par_done_ = true;
@@ -241,22 +387,53 @@ PartitionSet::parallelQuantumEnd() noexcept
 }
 
 void
-PartitionSet::ensureWorkerPool()
+PartitionSet::workerBody(size_t w)
 {
-    if (!pool_.empty()) {
-        return;
-    }
-    pool_.reserve(parts_.size());
-    for (size_t i = 0; i < parts_.size(); ++i) {
-        pool_.emplace_back([this, i] { workerLoop(i); });
+    const std::vector<size_t> &mine = worker_parts_[w];
+    const bool solo = par_workers_ == 1;
+    while (!par_done_) {
+        const SimTime bound = par_bound_;
+        if (skip_idle_) {
+            SimTime local_min = SimTime::max();
+            for (size_t p : mine) {
+                parts_[p]->runBefore(bound);
+                local_min =
+                    std::min(local_min, parts_[p]->nextEventTime());
+            }
+            worker_min_[w].v = local_min;
+        } else {
+            for (size_t p : mine) {
+                parts_[p]->runBefore(bound);
+            }
+        }
+        if (solo) {
+            // Degenerate fusion: no siblings, so no barrier at all —
+            // this is the near-runSequential configuration.
+            parallelQuantumEnd();
+        } else {
+            barrier_.arriveAndWait(
+                [this]() noexcept { parallelQuantumEnd(); });
+        }
     }
 }
 
 void
-PartitionSet::workerLoop(size_t i)
+PartitionSet::ensureWorkerPool(size_t pool_threads)
+{
+    // Grow on demand, never shrink: an idle pooled worker costs one
+    // parked thread, re-spawning costs a clone() per run.
+    while (pool_.size() < pool_threads) {
+        const size_t worker_id = pool_.size() + 1; // caller is worker 0
+        pool_.emplace_back([this, worker_id] { workerLoop(worker_id); });
+    }
+}
+
+void
+PartitionSet::workerLoop(size_t worker_id)
 {
     uint64_t seen_generation = 0;
     for (;;) {
+        bool participate;
         {
             std::unique_lock<std::mutex> lk(pool_mu_);
             pool_work_cv_.wait(lk, [&] {
@@ -267,15 +444,18 @@ PartitionSet::workerLoop(size_t i)
                 return;
             }
             seen_generation = pool_generation_;
+            // A run fusing fewer workers than the pool holds leaves the
+            // extra threads parked; they are not counted in
+            // workers_running_ and never touch the barrier.
+            participate = worker_id < par_workers_;
         }
-        // Quantum loop.  par_done_/par_bound_ are safe to read: the
-        // initial values were published under pool_mu_, and every
-        // subsequent write happens in the barrier completion step,
-        // which strongly-happens-before the workers resume.
-        while (!par_done_) {
-            parts_[i]->runBefore(par_bound_);
-            par_barrier_->arrive_and_wait();
+        if (!participate) {
+            continue;
         }
+        // The initial window state was published under pool_mu_, and
+        // every subsequent write happens in the barrier completion
+        // step, which strongly-happens-before the workers resume.
+        workerBody(worker_id);
         {
             std::lock_guard<std::mutex> lk(pool_mu_);
             if (--workers_running_ == 0) {
@@ -299,28 +479,39 @@ PartitionSet::runParallel(SimTime until)
     }
     beginRunStats();
 
+    const size_t workers = std::min(parts_.size(), parallelism());
+    assignPartitions(workers);
+    par_workers_ = workers;
     par_q_ = q;
     par_until_ = until;
     par_t_ = nextWindowStart(SimTime(), q, until);
     par_bound_ = std::min(par_t_ + q, until);
     par_done_ = par_t_ >= until;
-    par_barrier_.emplace(static_cast<std::ptrdiff_t>(parts_.size()),
-                         QuantumCompletion{this});
 
-    ensureWorkerPool();
+    if (!par_done_) {
+        if (workers > 1) {
+            barrier_.reset(static_cast<uint32_t>(workers));
+            {
+                std::lock_guard<std::mutex> lk(pool_mu_);
+                ++pool_generation_;
+                workers_running_ = workers - 1;
+            }
+            pool_work_cv_.notify_all();
+            // Spawn missing pool threads only after the generation and
+            // running count are published: a new thread starts with
+            // seen_generation 0 and participates immediately.
+            ensureWorkerPool(workers - 1);
+            workerBody(0); // the calling thread is worker 0
+            std::unique_lock<std::mutex> lk(pool_mu_);
+            pool_idle_cv_.wait(lk, [&] { return workers_running_ == 0; });
+        } else {
+            workerBody(0); // fused to one worker: no pool, no barrier
+        }
+    }
     {
         std::lock_guard<std::mutex> lk(pool_mu_);
-        ++pool_generation_;
-        workers_running_ = parts_.size();
-    }
-    pool_work_cv_.notify_all();
-
-    {
-        std::unique_lock<std::mutex> lk(pool_mu_);
-        pool_idle_cv_.wait(lk, [&] { return workers_running_ == 0; });
         run_active_ = false;
     }
-    par_barrier_.reset();
     endRunStats();
 }
 

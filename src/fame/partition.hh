@@ -34,21 +34,47 @@
  * the unskipped run.  Both runSequential and runParallel apply the same
  * skip rule, so parallel ≡ sequential continues to hold exactly.
  *
- * Host threads: runParallel drives one worker thread per partition from
- * a pool created on first use and reused for every subsequent run (a
- * 64-rack sharded cluster measured in windows would otherwise pay 65
- * thread spawns per measurement window).  The pool is joined in the
- * destructor.
+ * Winning back the sync tax (the paper's whole point is that the
+ * partitioned engine *accelerates* the model) takes four stacked
+ * mechanisms in runParallel:
+ *
+ *  1. **Partition fusion.**  P partitions are mapped onto
+ *     `min(P, parallelism())` workers; each worker advances its fused
+ *     set sequentially within a quantum.  Barrier participant count
+ *     matches host cores, not model racks, and with one worker the
+ *     engine degenerates to a single-thread loop with no barrier at
+ *     all — near-runSequential cost.  The calling thread doubles as
+ *     worker 0, so a run hands off to at most `workers-1` pool
+ *     threads.  setPartitionWeight() biases the (deterministic, LPT
+ *     greedy) fusion assignment toward balance.
+ *  2. **Spin-then-park barrier.**  A sense-reversing barrier whose
+ *     waiters spin with bounded exponential backoff (quanta are ~µs;
+ *     a futex round trip costs more than most quanta) and park on the
+ *     sense word only after the spin budget is exhausted — long idle
+ *     gaps cost a futex wait, dense phases cost no syscalls at all.
+ *  3. **Incremental serial section.**  Each worker publishes the
+ *     earliest pending event time of its fused partitions as it
+ *     arrives at the barrier, and a channel registers itself on its
+ *     worker's dirty list on the first post of a quantum; the
+ *     completion step folds worker minima with drained-message minima
+ *     instead of rescanning every partition and channel per ~µs
+ *     window.
+ *  4. **Allocation-free channel buffers.**  Per-channel message
+ *     storage keeps its capacity across quanta, and posts carry the
+ *     small-buffer-optimized EventFn, so steady-state cross-partition
+ *     traffic touches no allocator.
+ *
+ * runSequential stays the deliberately simple full-scan reference the
+ * incremental engine is checked against (bit-identity tests).
  */
 
-#include <barrier>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
-#include <optional>
 #include <vector>
 
 #include "core/simulator.hh"
@@ -84,6 +110,12 @@ class PartitionSet {
          * channel's name rather than surfacing later as an
          * unattributable drain-time failure or a silently late
          * delivery.
+         *
+         * The first post of a quantum registers the channel on the
+         * posting worker's dirty list, so the barrier's serial section
+         * drains only channels that actually carried traffic.  Message
+         * storage keeps its capacity across quanta: steady-state posts
+         * are allocation-free.
          */
         void post(SimTime when, EventFn fn);
 
@@ -101,6 +133,7 @@ class PartitionSet {
         PartitionSet *owner_ = nullptr;
         size_t src_ = 0;
         size_t dst_ = 0;
+        uint32_t index_ = 0; ///< creation order == drain order
         SimTime min_latency_;
         std::string name_;
         std::vector<Msg> pending_;
@@ -128,6 +161,9 @@ class PartitionSet {
     /**
      * Synchronization quantum (lookahead): the explicit override if one
      * was set, else the minimum channel latency, else kNoChannelQuantum.
+     * The derived value is cached (run entry used to pay an O(channels)
+     * scan) and invalidated by makeChannel/setQuantum/clearQuantum, so
+     * a channel added after an override is set is still validated.
      */
     SimTime quantum() const;
 
@@ -142,7 +178,12 @@ class PartitionSet {
     void setQuantum(SimTime q);
 
     /** Remove a setQuantum() override and return to the derived value. */
-    void clearQuantum() { quantum_override_ = SimTime(); }
+    void
+    clearQuantum()
+    {
+        quantum_override_ = SimTime();
+        quantum_cache_valid_ = false;
+    }
 
     /**
      * Enable/disable empty-quantum skipping (default: enabled).  Only
@@ -153,10 +194,34 @@ class PartitionSet {
     bool skipIdleQuanta() const { return skip_idle_; }
 
     /**
-     * Advance all partitions to @p until using one pooled worker thread
-     * per partition with barrier synchronization each quantum.  Not
+     * Cap the number of worker threads runParallel fuses partitions
+     * onto: a run uses `min(size(), n)` workers (the calling thread is
+     * worker 0, so at most n-1 pool threads run).  @p n == 0 restores
+     * the default, `hardware_concurrency`.  Simulated results are
+     * identical for every setting — only the fusion changes.  Fatal if
+     * called while a parallel run is live.
+     */
+    void setParallelism(size_t n);
+
+    /** Resolved worker cap (the hardware default when unset). */
+    size_t parallelism() const;
+
+    /**
+     * Relative load hint for partition @p i (default 1.0, must be
+     * positive): fusion assigns partitions to workers by greedy
+     * longest-processing-time on these weights.  A sharded cluster
+     * sets rack partitions ∝ servers and the switch partition ∝ trunk
+     * fan-in.  Purely a balance hint; results never depend on it.
+     */
+    void setPartitionWeight(size_t i, double w);
+
+    /**
+     * Advance all partitions to @p until on `min(size(), parallelism())`
+     * fused workers with spin-then-park barrier synchronization each
+     * quantum.  The calling thread participates as worker 0; pool
+     * threads are created on first use and reused across runs.  Not
      * re-entrant: calling it again (from an event, or from another
-     * host thread) while a parallel run's workers are live is fatal.
+     * host thread) while a parallel run is live is fatal.
      */
     void runParallel(SimTime until);
 
@@ -195,6 +260,9 @@ class PartitionSet {
     /** Events executed across all partitions during the most recent run. */
     uint64_t lastRunTotalExecutedEvents() const;
 
+    /** Workers the most recent runParallel fused the partitions onto. */
+    size_t lastRunWorkers() const { return par_workers_; }
+
     /**
      * Zero the cumulative quantum counter and the last-run deltas.
      * (Executed-event totals are owned by the Simulators and stay
@@ -203,50 +271,156 @@ class PartitionSet {
     void resetStats();
 
   private:
-    void drainChannels();
+    /**
+     * Sense-reversing barrier tuned for ~µs quanta: waiters spin with
+     * bounded exponential backoff, then park on the sense word (futex
+     * via std::atomic::wait) only after the spin budget is exhausted.
+     * The last arriver runs the completion callable single-threaded
+     * before releasing anyone, and pays the notify syscall only when
+     * someone actually parked.  Not reusable concurrently with
+     * reset(); reset() happens-before the run's workers start (mutex
+     * handoff / program order).
+     */
+    class SpinBarrier {
+      public:
+        void
+        reset(uint32_t participants) noexcept
+        {
+            participants_ = participants;
+            pending_.store(participants, std::memory_order_relaxed);
+            sense_.store(0, std::memory_order_relaxed);
+            parked_.store(0, std::memory_order_relaxed);
+        }
+
+        template <typename Serial>
+        void
+        arriveAndWait(Serial &&serial) noexcept
+        {
+            // Coherence makes the relaxed load exact: this thread last
+            // observed the current sense when the previous barrier
+            // released it (or at reset), and only the last arriver of
+            // *this* barrier — which needs our arrival — can flip it.
+            const uint32_t my = sense_.load(std::memory_order_relaxed);
+            if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                // Serial section: the acq_rel RMW chain above makes
+                // every other worker's pre-arrival writes visible here.
+                serial();
+                pending_.store(participants_, std::memory_order_relaxed);
+                // seq_cst store vs. the waiters' seq_cst park counter
+                // increment: either we see parked_ > 0 and notify, or
+                // the parker's wait() load is ordered after our store
+                // and returns immediately.  No lost wakeup.
+                sense_.store(my ^ 1u, std::memory_order_seq_cst);
+                if (parked_.load(std::memory_order_seq_cst) != 0) {
+                    sense_.notify_all();
+                }
+                return;
+            }
+            uint32_t batch = 1;
+            uint32_t spent = 0;
+            while (sense_.load(std::memory_order_acquire) == my) {
+                if (spent >= kSpinBudget) {
+                    parked_.fetch_add(1, std::memory_order_seq_cst);
+                    while (sense_.load(std::memory_order_seq_cst) == my) {
+                        sense_.wait(my, std::memory_order_seq_cst);
+                    }
+                    parked_.fetch_sub(1, std::memory_order_relaxed);
+                    return;
+                }
+                for (uint32_t i = 0; i < batch; ++i) {
+                    cpuRelax();
+                }
+                spent += batch;
+                if (batch < kMaxBatch) {
+                    batch <<= 1;
+                }
+            }
+        }
+
+      private:
+        /**
+         * ~4k pause slots ≈ tens of µs on current x86 — several dense
+         * quanta — before conceding the futex; backoff batches grow
+         * 1→64 so late spinning rechecks the line sparsely.
+         */
+        static constexpr uint32_t kSpinBudget = 4096;
+        static constexpr uint32_t kMaxBatch = 64;
+
+        static void
+        cpuRelax() noexcept
+        {
+#if defined(__x86_64__) || defined(__i386__)
+            __builtin_ia32_pause();
+#elif defined(__aarch64__)
+            asm volatile("yield" ::: "memory");
+#else
+            std::this_thread::yield();
+#endif
+        }
+
+        std::atomic<uint32_t> pending_{0};
+        std::atomic<uint32_t> sense_{0};
+        std::atomic<uint32_t> parked_{0};
+        uint32_t participants_ = 0;
+    };
+
+    SimTime computeQuantum() const;
+
+    /** Drain dirty channels in creation order; min drained `when`. */
+    SimTime drainDirtyChannels();
 
     /** Earliest pending local event or undelivered channel message. */
     SimTime earliestPendingTime();
 
     /**
-     * Start of the next window that can contain work: @p t itself when
-     * skipping is off or work exists in [t, t+q); otherwise the earliest
-     * pending time snapped down to the quantum grid, clamped to
-     * [@p t, @p until].
+     * Start of the next window that can contain work given the
+     * earliest pending time: @p t itself when work exists in [t, t+q);
+     * otherwise @p earliest snapped down to the quantum grid, clamped
+     * to [@p t, @p until].
      */
+    static SimTime windowForEarliest(SimTime earliest, SimTime t,
+                                     SimTime q, SimTime until);
+
+    /** Full-scan skip rule (run entry, and the sequential reference). */
     SimTime nextWindowStart(SimTime t, SimTime q, SimTime until);
 
     // --- per-run statistics bookkeeping ---
     void beginRunStats();
     void endRunStats();
 
-    // --- pooled parallel runner ---
+    // --- fused parallel runner ---
 
     /** Barrier completion step: drain, advance, possibly skip. */
     void parallelQuantumEnd() noexcept;
 
-    struct QuantumCompletion {
-        PartitionSet *ps;
-        void operator()() noexcept { ps->parallelQuantumEnd(); }
-    };
+    /** Fuse partitions onto @p workers (deterministic LPT greedy). */
+    void assignPartitions(size_t workers);
 
-    void ensureWorkerPool();
-    void workerLoop(size_t i);
+    /** Quantum loop of fused worker @p w (worker 0 = calling thread). */
+    void workerBody(size_t w);
+
+    void ensureWorkerPool(size_t pool_threads);
+    void workerLoop(size_t worker_id);
 
     std::vector<std::unique_ptr<Simulator>> parts_;
     std::vector<std::unique_ptr<Channel>> channels_;
+    std::vector<double> weights_;
     SimTime quantum_override_;
+    mutable SimTime quantum_cache_;
+    mutable bool quantum_cache_valid_ = false;
     bool skip_idle_ = true;
     uint64_t quanta_ = 0;
+    size_t threads_ = 0; ///< setParallelism cap; 0 = hardware default
 
     // Per-run stat deltas (see accessors above).
     uint64_t run_start_quanta_ = 0;
     uint64_t last_run_quanta_ = 0;
     std::vector<uint64_t> last_run_executed_;
 
-    // Worker pool: one thread per partition, created on the first
-    // runParallel and parked between runs.  generation_ hands work to
-    // the pool; workers_running_ counts them back in.
+    // Worker pool: min(P, parallelism()) - 1 pool threads (the caller
+    // is worker 0), created on first use, grown on demand, reused for
+    // every subsequent run and joined in the destructor.  generation_
+    // hands work to the pool; workers_running_ counts them back in.
     std::vector<std::thread> pool_;
     std::mutex pool_mu_;
     std::condition_variable pool_work_cv_;
@@ -256,15 +430,30 @@ class PartitionSet {
     bool pool_shutdown_ = false;
     bool run_active_ = false;
 
-    // Shared state of the in-flight parallel run.  Written only by the
-    // barrier completion step (single-threaded by construction) or
-    // before workers are released; read by workers between barriers.
+    // Fusion state of the in-flight run.  Written before workers are
+    // released (mutex handoff) and only read during the run, except
+    // worker_min_/worker_dirty_ slots, which each worker writes for
+    // itself between barriers and the completion step reads (the
+    // barrier's RMW chain orders both directions).
+    struct alignas(64) PaddedTime {
+        SimTime v;
+    };
+    std::vector<std::vector<size_t>> worker_parts_; ///< worker -> fused set
+    std::vector<uint32_t> worker_of_;               ///< partition -> worker
+    std::vector<PaddedTime> worker_min_;  ///< published next-event times
+    std::vector<std::vector<uint32_t>> worker_dirty_; ///< posted channels
+    std::vector<uint32_t> drain_scratch_; ///< merged+sorted dirty list
+    SpinBarrier barrier_;
+    size_t par_workers_ = 0;
+
+    // Shared window state of the in-flight parallel run.  Written only
+    // by the barrier completion step (single-threaded by construction)
+    // or before workers are released; read by workers between barriers.
     SimTime par_t_;
     SimTime par_bound_;
     SimTime par_until_;
     SimTime par_q_;
     bool par_done_ = false;
-    std::optional<std::barrier<QuantumCompletion>> par_barrier_;
 };
 
 } // namespace fame

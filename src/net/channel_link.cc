@@ -44,9 +44,16 @@ ChannelLink::scheduleDelivery(SimTime when, PacketPtr p)
     // carries, never the transmit-side bookkeeping.  The event owns the
     // packet so frames still in flight when a run stops are reclaimed
     // with the destination queue.
-    post_(when, EventFn([this, p = std::move(p)]() mutable {
+    auto deliver = [this, p = std::move(p)]() mutable {
         deliverToSink(std::move(p));
-    }));
+    };
+    // This closure is constructed once per cross-partition packet on
+    // the trunk hot path; it must ride the EventFn small-buffer path
+    // end to end (post -> channel buffer -> destination queue slot).
+    static_assert(EventFn::inlineable<decltype(deliver)>(),
+                  "ChannelLink delivery closure outgrew the EventFn "
+                  "inline buffer (per-message heap allocation)");
+    post_(when, EventFn(std::move(deliver)));
 }
 
 } // namespace net

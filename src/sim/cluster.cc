@@ -129,6 +129,20 @@ Cluster::Cluster(fame::PartitionSet &ps, const ClusterParams &params)
     };
     network_ = std::make_unique<topo::ClosNetwork>(hooks, params_.topo);
     buildServers();
+
+    // Fusion balance hints for runParallel's partition->worker
+    // placement: a rack partition's event rate scales with the servers
+    // it hosts (kernel/NIC/uplink per server, plus its ToR); the
+    // switch partition carries the aggregation levels, whose
+    // forwarding load scales with total trunk fan-in.  Pure wall-clock
+    // hints — results are identical for any placement.
+    for (uint32_t r = 0; r < racks; ++r) {
+        ps.setPartitionWeight(r, params_.topo.servers_per_rack + 1.0);
+    }
+    if (racks > 1) {
+        ps.setPartitionWeight(
+            racks, 1.0 + 0.5 * racks * params_.topo.uplink_planes);
+    }
 }
 
 Simulator &

@@ -88,6 +88,13 @@ class Cluster {
      * @p ps must have exactly partitionsRequired(params) partitions and
      * must outlive the Cluster.  Run with ps.runParallel() or
      * ps.runSequential(); both produce bit-identical statistics.
+     *
+     * The constructor also installs fusion weight hints
+     * (PartitionSet::setPartitionWeight): rack partitions ∝ servers
+     * per rack, the switch partition ∝ trunk fan-in, so
+     * runParallel's partition->worker placement stays balanced when
+     * racks outnumber host cores.  Tune afterwards if the workload is
+     * known to be skewed; placement never changes simulated results.
      */
     Cluster(fame::PartitionSet &ps, const ClusterParams &params);
 

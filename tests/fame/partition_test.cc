@@ -327,6 +327,135 @@ TEST(PartitionSet, PerRunStatsAreDeltas)
     EXPECT_EQ(ps.lastRunTotalExecutedEvents(), 0u);
 }
 
+TEST(PartitionSet, FusedWorkerCountsAreBitIdentical)
+{
+    // Partition fusion: the same 6-partition workload must produce the
+    // same checksum, event count, and quantum count for every worker
+    // cap — 1 (degenerate fusion, no barrier), fewer workers than
+    // partitions, one per partition, and oversubscribed.  0 is the
+    // hardware default.
+    auto run = [](size_t threads) {
+        PartitionSet ps(6);
+        ps.setParallelism(threads);
+        RingWorkload w(ps, 1_us);
+        for (size_t i = 0; i < 6; ++i) {
+            w.inject(i, 1000 + i, 10);
+        }
+        ps.runParallel(SimTime::ms(5));
+        struct Result {
+            uint64_t checksum;
+            uint64_t executed;
+            uint64_t quanta;
+        };
+        return Result{w.globalChecksum(), ps.totalExecutedEvents(),
+                      ps.quantaExecuted()};
+    };
+    const auto ref = run(1);
+    EXPECT_GT(ref.executed, 0u);
+    for (size_t threads : {2u, 3u, 6u, 12u, 0u}) {
+        const auto r = run(threads);
+        EXPECT_EQ(ref.checksum, r.checksum) << threads << " threads";
+        EXPECT_EQ(ref.executed, r.executed) << threads << " threads";
+        EXPECT_EQ(ref.quanta, r.quanta) << threads << " threads";
+    }
+}
+
+TEST(PartitionSet, FusionCapsWorkersAtPartitionCount)
+{
+    PartitionSet ps(3);
+    ps.makeChannel(0, 1, 1_us);
+    ps.partition(0).schedule(SimTime::us(1), [] {});
+    ps.setParallelism(64);
+    EXPECT_EQ(ps.parallelism(), 64u);
+    ps.runParallel(SimTime::us(10));
+    EXPECT_EQ(ps.lastRunWorkers(), 3u);
+    ps.setParallelism(2);
+    ps.runParallel(SimTime::us(20));
+    EXPECT_EQ(ps.lastRunWorkers(), 2u);
+}
+
+TEST(PartitionSet, QuantumCacheInvalidatedByLaterChannel)
+{
+    // Regression for the cached quantum: an override validated against
+    // the channels present at first quantum() call must be re-checked
+    // when a later channel tightens the minimum lookahead below it.
+    PartitionSet ps(3);
+    ps.makeChannel(0, 1, 10_us);
+    ps.setQuantum(8_us);
+    EXPECT_EQ(ps.quantum(), 8_us); // cache primed with override valid
+    ps.makeChannel(1, 2, 2_us);    // lookahead now below the override
+    EXPECT_DEATH(ps.runSequential(SimTime::us(100)),
+                 "exceeds minimum channel latency");
+}
+
+TEST(PartitionSet, QuantumCacheInvalidatedBySetAndClear)
+{
+    PartitionSet ps(2);
+    ps.makeChannel(0, 1, 10_us);
+    EXPECT_EQ(ps.quantum(), 10_us);
+    ps.setQuantum(4_us);
+    EXPECT_EQ(ps.quantum(), 4_us);
+    ps.clearQuantum();
+    EXPECT_EQ(ps.quantum(), 10_us);
+    ps.makeChannel(1, 0, 3_us);
+    EXPECT_EQ(ps.quantum(), 3_us);
+}
+
+TEST(PartitionSet, RandomizedTopologyStressSeqParIdentical)
+{
+    // Randomized mini-fuzz over topology shape and traffic pattern:
+    // random partition counts, per-channel latencies, bursty injection
+    // times, and fanouts.  For each sampled topology the sequential
+    // reference and the parallel engine at several worker caps must
+    // stay bit-identical.  The generator is seeded, so a failure here
+    // reproduces deterministically.
+    Rng rng(0xD1AB10);
+    for (int trial = 0; trial < 8; ++trial) {
+        const size_t parts = rng.uniformInt(2, 6);
+        const SimTime hop = SimTime::ns(
+            static_cast<int64_t>(rng.uniformInt(300, 5000)));
+        const int fanout = static_cast<int>(rng.uniformInt(1, 3));
+        const int ttl = static_cast<int>(rng.uniformInt(4, 9));
+        const uint32_t bursts = static_cast<uint32_t>(
+            rng.uniformInt(1, 3));
+        std::vector<uint64_t> burst_at_us;
+        for (uint32_t b = 0; b < bursts; ++b) {
+            burst_at_us.push_back(rng.uniformInt(0, 3000));
+        }
+
+        auto run = [&](bool parallel, size_t threads) {
+            PartitionSet ps(parts);
+            ps.setParallelism(threads);
+            RingWorkload w(ps, hop, fanout);
+            for (uint64_t at : burst_at_us) {
+                for (size_t i = 0; i < parts; ++i) {
+                    ps.partition(i).schedule(
+                        SimTime::us(static_cast<int64_t>(at)),
+                        [&w, i, at, ttl] {
+                            w.onToken(i, at + i, ttl);
+                        });
+                }
+            }
+            if (parallel) {
+                ps.runParallel(SimTime::ms(10));
+            } else {
+                ps.runSequential(SimTime::ms(10));
+            }
+            return std::pair(w.globalChecksum(),
+                             ps.totalExecutedEvents());
+        };
+
+        const auto seq = run(false, 1);
+        EXPECT_GT(seq.second, 0u) << "trial " << trial;
+        for (size_t threads : {1u, 2u, 0u}) {
+            const auto par = run(true, threads);
+            EXPECT_EQ(seq, par)
+                << "trial " << trial << ", parts=" << parts
+                << ", threads=" << threads;
+        }
+    }
+}
+
 TEST(PartitionSet, RunParallelReentryIsFatal)
 {
     // Re-entering the parallel engine from inside an event would have

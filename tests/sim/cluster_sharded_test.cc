@@ -50,10 +50,11 @@ struct ShardedOutcome {
 };
 
 ShardedOutcome
-runShardedIncast(bool parallel)
+runShardedIncast(bool parallel, size_t threads = 0)
 {
     const ClusterParams params = fourRackParams();
     fame::PartitionSet ps(Cluster::partitionsRequired(params));
+    ps.setParallelism(threads);
     Cluster cluster(ps, params);
     EXPECT_TRUE(cluster.sharded());
     EXPECT_EQ(cluster.partitionSet(), &ps);
@@ -122,13 +123,18 @@ TEST(ClusterSharded, PartitionsRequired)
 
 // The tentpole acceptance criterion: a >= 4-rack sharded cluster yields
 // bit-identical aggregate statistics from the sequential reference and
-// the pooled parallel engine, under a workload with real TCP loss
-// recovery (incast over 4 KB ToR buffers).
+// the pooled parallel engine — at every fusion width (1 = degenerate
+// solo worker, 2 = partitions sharing workers, 5 = one worker per
+// partition, 0 = hardware default) — under a workload with real TCP
+// loss recovery (incast over 4 KB ToR buffers).
 TEST(ClusterSharded, SequentialAndParallelAreBitIdentical)
 {
     ShardedOutcome seq = runShardedIncast(false);
-    ShardedOutcome par = runShardedIncast(true);
-    EXPECT_EQ(seq.fingerprint, par.fingerprint);
+    for (size_t threads : {1u, 2u, 5u, 0u}) {
+        ShardedOutcome par = runShardedIncast(true, threads);
+        EXPECT_EQ(seq.fingerprint, par.fingerprint)
+            << "threads=" << threads;
+    }
 }
 
 TEST(ClusterSharded, IncastActuallyStressesTheFabric)

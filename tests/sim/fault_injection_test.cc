@@ -53,10 +53,11 @@ struct FaultedOutcome {
  * sharded-parallel execution.
  */
 FaultedOutcome
-runFaultedIncast(bool parallel)
+runFaultedIncast(bool parallel, size_t threads = 0)
 {
     const ClusterParams params = planedFourRackParams();
     fame::PartitionSet ps(Cluster::partitionsRequired(params));
+    ps.setParallelism(threads);
     Cluster cluster(ps, params);
 
     apps::IncastParams ip;
@@ -127,11 +128,16 @@ runFaultedIncast(bool parallel)
 
 TEST(FaultInjection, FaultedRunIsBitIdenticalSequentialVsParallel)
 {
+    // The faulted timeline must survive every fusion width: degenerate
+    // single-worker, shared workers, and the hardware default.
     FaultedOutcome seq = runFaultedIncast(false);
-    FaultedOutcome par = runFaultedIncast(true);
     EXPECT_TRUE(seq.done);
-    EXPECT_TRUE(par.done);
-    EXPECT_EQ(seq.fingerprint, par.fingerprint);
+    for (size_t threads : {1u, 2u, 0u}) {
+        FaultedOutcome par = runFaultedIncast(true, threads);
+        EXPECT_TRUE(par.done) << "threads=" << threads;
+        EXPECT_EQ(seq.fingerprint, par.fingerprint)
+            << "threads=" << threads;
+    }
 }
 
 TEST(FaultInjection, FaultsActuallyBite)

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Guard the parallel engine's degenerate-fusion cost in CI.
+
+Reads a google-benchmark JSON file (--benchmark_out) containing
+BM_ClusterIncastSharded rows and checks that the fused parallel engine
+capped at one worker (par:1/threads:1) retains at least a minimum
+fraction of the sequential reference's event throughput (par:0) at the
+same cluster shape.  That ratio is the engine's "sync tax" with all
+parallelism removed: fusion + the solo-worker fast path should make it
+a few percent, and a regression here means every multi-threaded run
+pays more too.
+
+Usage:
+    bench_guard.py <benchmark.json> [--racks N] [--min-ratio R]
+
+Exit status 0 when the ratio holds, 1 on a regression or missing rows.
+Timings on shared CI runners are noisy, so the default floor (0.8) is
+far below the ~0.95 measured on an idle host: this catches an engine
+that fell off a cliff (e.g. back to barrier-per-quantum condvar costs),
+not a few points of jitter.
+"""
+
+import argparse
+import json
+import sys
+
+
+def run_args(name):
+    """Parse 'BM_X/par:1/racks:4/...' into {'par': 1, 'racks': 4, ...}."""
+    out = {}
+    for part in name.split("/")[1:]:
+        if ":" in part:
+            key, _, val = part.partition(":")
+            try:
+                out[key] = int(val)
+            except ValueError:
+                pass
+    return out
+
+
+def items_per_second(bench):
+    ips = bench.get("items_per_second")
+    if ips is None:
+        raise SystemExit(
+            f"bench_guard: no items_per_second in {bench.get('name')}")
+    return float(ips)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("json_file")
+    ap.add_argument("--racks", type=int, default=4,
+                    help="cluster shape to compare (default 4)")
+    ap.add_argument("--min-ratio", type=float, default=0.8,
+                    help="minimum par:1/threads:1 vs seq throughput "
+                         "ratio (default 0.8)")
+    opts = ap.parse_args()
+
+    with open(opts.json_file) as f:
+        data = json.load(f)
+
+    seq = par1 = None
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name", "")
+        if not name.startswith("BM_ClusterIncastSharded/"):
+            continue
+        args = run_args(name)
+        if args.get("racks") != opts.racks:
+            continue
+        if args.get("par") == 0:
+            seq = items_per_second(bench)
+        elif args.get("par") == 1 and args.get("threads") == 1:
+            par1 = items_per_second(bench)
+
+    if seq is None or par1 is None:
+        print(f"bench_guard: missing BM_ClusterIncastSharded rows at "
+              f"racks={opts.racks} (seq={seq}, par1={par1}) in "
+              f"{opts.json_file}", file=sys.stderr)
+        return 1
+
+    ratio = par1 / seq
+    verdict = "OK" if ratio >= opts.min_ratio else "REGRESSION"
+    print(f"bench_guard: racks={opts.racks} seq={seq:.3e} "
+          f"par(threads=1)={par1:.3e} items/s "
+          f"ratio={ratio:.3f} (floor {opts.min_ratio}) {verdict}")
+    return 0 if ratio >= opts.min_ratio else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

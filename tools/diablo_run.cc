@@ -16,9 +16,17 @@
  * --fault-plan <file> injects a deterministic fault timeline (see
  * sim::FaultPlan::fromFile for the key=value schema) into the run;
  * fault.<i>.* keys given directly on the command line work too.
+ *
+ * --engine <single|seq|par> selects the execution engine: `single`
+ * (default) runs the whole array on one Simulator; `seq` and `par`
+ * build the rack/switch-sharded cluster and drive it with the
+ * sequential reference or the fused parallel engine — all three
+ * produce bit-identical simulated results.  --threads <N> caps the
+ * parallel engine's worker count (0 = one per hardware thread).
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 
@@ -30,6 +38,29 @@
 using namespace diablo;
 
 namespace {
+
+/** Which engine drives the run (see the file comment). */
+enum class Engine { Single, Seq, Par };
+
+struct EngineOpts {
+    Engine engine = Engine::Single;
+    size_t threads = 0; ///< parallel worker cap; 0 = hardware default
+
+    bool
+    parseEngine(const char *val)
+    {
+        if (std::strcmp(val, "single") == 0) {
+            engine = Engine::Single;
+        } else if (std::strcmp(val, "seq") == 0) {
+            engine = Engine::Seq;
+        } else if (std::strcmp(val, "par") == 0) {
+            engine = Engine::Par;
+        } else {
+            return false;
+        }
+        return true;
+    }
+};
 
 /**
  * Build the run's fault plan: the --fault-plan file if given, else any
@@ -77,7 +108,8 @@ printFaultOutcome(sim::Cluster &cluster)
 }
 
 int
-runMemcached(const Config &cfg, const sim::FaultPlan &plan)
+runMemcached(const Config &cfg, const sim::FaultPlan &plan,
+             const EngineOpts &eng)
 {
     apps::McExperimentParams p;
     p.cluster = cfg.getDouble("topo.rack.port_gbps", 1.0) > 5
@@ -98,21 +130,40 @@ runMemcached(const Config &cfg, const sim::FaultPlan &plan)
     p.client.think_mean = SimTime::microseconds(
         cfg.getDouble("mc.think_us", 1500.0));
 
-    Simulator sim;
-    apps::McExperiment exp(sim, p);
+    std::unique_ptr<Simulator> sim;
+    std::unique_ptr<fame::PartitionSet> ps;
+    std::unique_ptr<apps::McExperiment> exp;
+    if (eng.engine == Engine::Single) {
+        sim = std::make_unique<Simulator>();
+        exp = std::make_unique<apps::McExperiment>(*sim, p);
+    } else {
+        ps = std::make_unique<fame::PartitionSet>(
+            sim::Cluster::partitionsRequired(p.cluster));
+        ps->setParallelism(eng.threads);
+        exp = std::make_unique<apps::McExperiment>(*ps, p);
+    }
     std::unique_ptr<sim::FaultController> fc;
-    installFaults(exp.cluster(), plan, fc);
-    exp.run();
-    const auto &r = exp.result();
+    installFaults(exp->cluster(), plan, fc);
+    exp->run(eng.engine == Engine::Par);
+    const auto &r = exp->result();
 
     std::printf("nodes=%u servers=%u clients=%u proto=%s kernel=%s\n",
-                exp.cluster().size(), r.servers, r.clients,
+                exp->cluster().size(), r.servers, r.clients,
                 p.server.udp ? "UDP" : "TCP",
                 p.cluster.kernel_profile.name.c_str());
+    if (ps != nullptr) {
+        std::printf("engine=%s partitions=%zu workers=%zu\n",
+                    eng.engine == Engine::Par ? "par" : "seq",
+                    ps->size(),
+                    eng.engine == Engine::Par ? ps->lastRunWorkers()
+                                              : size_t{1});
+    }
     std::printf("completed=%llu in %s (sim), %llu events\n",
                 static_cast<unsigned long long>(r.requests_completed),
                 r.elapsed.str().c_str(),
-                static_cast<unsigned long long>(sim.executedEvents()));
+                static_cast<unsigned long long>(
+                    sim != nullptr ? sim->executedEvents()
+                                   : ps->totalExecutedEvents()));
     std::printf("latency %s\n",
                 analysis::latencySummary(r.latency_us).c_str());
     const char *names[3] = {"local", "1-hop", "2-hop"};
@@ -128,31 +179,47 @@ runMemcached(const Config &cfg, const sim::FaultPlan &plan)
                 static_cast<unsigned long long>(r.udp_retries),
                 static_cast<unsigned long long>(r.udp_timeouts),
                 static_cast<unsigned long long>(
-                    exp.cluster().network().totalSwitchDrops()),
+                    exp->cluster().network().totalSwitchDrops()),
                 static_cast<unsigned long long>(
-                    exp.cluster().totalTcpRtos()));
+                    exp->cluster().totalTcpRtos()));
     if (!plan.empty()) {
-        printFaultOutcome(exp.cluster());
+        printFaultOutcome(exp->cluster());
     }
     return 0;
 }
 
 int
-runIncast(const Config &cfg, const sim::FaultPlan &plan)
+runIncast(const Config &cfg, const sim::FaultPlan &plan,
+          const EngineOpts &eng)
 {
     const uint32_t n = static_cast<uint32_t>(
         cfg.getUint("incast.servers", 8));
+    // incast.racks spreads the fan-in across racks so the trunk and
+    // the sharded engines have cross-partition traffic to chew on;
+    // the default keeps the classic single-ToR shape.
+    const uint32_t racks = static_cast<uint32_t>(
+        cfg.getUint("incast.racks", 1));
     sim::ClusterParams cp =
         cfg.getDouble("topo.rack.port_gbps", 1.0) > 5
             ? sim::ClusterParams::tengig100ns()
             : sim::ClusterParams::gige1us();
     cp.applyConfig(cfg);
-    cp.topo.servers_per_rack = n + 1;
-    cp.topo.racks_per_array = 1;
+    cp.topo.servers_per_rack = (n + 1 + racks - 1) / racks;
+    cp.topo.racks_per_array = racks;
     cp.topo.num_arrays = 1;
 
-    Simulator sim;
-    sim::Cluster cluster(sim, cp);
+    std::unique_ptr<Simulator> sim;
+    std::unique_ptr<fame::PartitionSet> ps;
+    std::unique_ptr<sim::Cluster> cluster;
+    if (eng.engine == Engine::Single) {
+        sim = std::make_unique<Simulator>();
+        cluster = std::make_unique<sim::Cluster>(*sim, cp);
+    } else {
+        ps = std::make_unique<fame::PartitionSet>(
+            sim::Cluster::partitionsRequired(cp));
+        ps->setParallelism(eng.threads);
+        cluster = std::make_unique<sim::Cluster>(*ps, cp);
+    }
     apps::IncastParams ip;
     ip.block_bytes = cfg.getUint("incast.block_bytes", 256 * 1024);
     ip.iterations = static_cast<uint32_t>(
@@ -162,27 +229,52 @@ runIncast(const Config &cfg, const sim::FaultPlan &plan)
     for (uint32_t i = 1; i <= n; ++i) {
         servers.push_back(i);
     }
-    apps::IncastApp app(cluster, ip, 0, servers);
+    apps::IncastApp app(*cluster, ip, 0, servers);
     app.install();
     std::unique_ptr<sim::FaultController> fc;
-    installFaults(cluster, plan, fc);
-    sim.run();
+    installFaults(*cluster, plan, fc);
+    if (sim != nullptr) {
+        sim->run();
+    } else {
+        // The PartitionSet runs to a time bound; advance in windows
+        // until the client reports completion (or a generous cap, in
+        // case a fault plan leaves the transfer unable to finish).
+        SimTime t;
+        while (!app.result().done && t < SimTime::sec(60)) {
+            t = t + SimTime::ms(250);
+            if (eng.engine == Engine::Par) {
+                ps->runParallel(t);
+            } else {
+                ps->runSequential(t);
+            }
+        }
+        std::printf("engine=%s partitions=%zu workers=%zu\n",
+                    eng.engine == Engine::Par ? "par" : "seq",
+                    ps->size(),
+                    eng.engine == Engine::Par ? ps->lastRunWorkers()
+                                              : size_t{1});
+    }
+    if (!app.result().done) {
+        std::fprintf(stderr, "incast did not complete\n");
+        return 1;
+    }
 
     const auto &r = app.result();
-    std::printf("incast: %u servers, %s blocks x %u iterations (%s "
-                "client)\n", n, "256KB", ip.iterations,
+    std::printf("incast: %u servers in %u rack%s, %s blocks x %u "
+                "iterations (%s client)\n", n, racks,
+                racks == 1 ? "" : "s", "256KB", ip.iterations,
                 ip.use_epoll ? "epoll" : "pthread");
     std::printf("goodput=%.1f Mbps; drops=%llu rtos=%llu retx=%llu\n",
                 r.goodputMbps(),
                 static_cast<unsigned long long>(
-                    cluster.network().totalSwitchDrops()),
-                static_cast<unsigned long long>(cluster.totalTcpRtos()),
+                    cluster->network().totalSwitchDrops()),
+                static_cast<unsigned long long>(cluster->totalTcpRtos()),
                 static_cast<unsigned long long>(
-                    cluster.totalTcpRetransmits()));
+                    cluster->totalTcpRetransmits()));
     std::printf("iteration times (us): %s\n",
                 analysis::latencySummary(r.iteration_us).c_str());
     if (!plan.empty()) {
-        printFaultOutcome(cluster);
+        printFaultOutcome(*cluster);
     }
     return 0;
 }
@@ -195,19 +287,48 @@ main(int argc, char **argv)
     if (argc < 2) {
         std::fprintf(stderr,
                      "usage: %s <memcached|incast> [--fault-plan <file>] "
+                     "[--engine <single|seq|par>] [--threads <N>] "
                      "[key=value ...]\n",
                      argv[0]);
         return 2;
     }
     Config cfg;
     const char *plan_file = nullptr;
+    EngineOpts eng;
     for (int i = 2; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--fault-plan") == 0) {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "--fault-plan needs a file path\n");
+        // Each --flag accepts both "--flag value" and "--flag=value".
+        auto flagValue = [&](const char *flag) -> const char * {
+            const size_t len = std::strlen(flag);
+            if (std::strncmp(argv[i], flag, len) != 0) {
+                return nullptr;
+            }
+            if (argv[i][len] == '=') {
+                return argv[i] + len + 1;
+            }
+            if (argv[i][len] == '\0') {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr, "%s needs a value\n", flag);
+                    std::exit(2);
+                }
+                return argv[++i];
+            }
+            return nullptr;
+        };
+        if (const char *v = flagValue("--fault-plan")) {
+            plan_file = v;
+            continue;
+        }
+        if (const char *v = flagValue("--engine")) {
+            if (!eng.parseEngine(v)) {
+                std::fprintf(stderr,
+                             "--engine must be single, seq, or par "
+                             "(got '%s')\n", v);
                 return 2;
             }
-            plan_file = argv[++i];
+            continue;
+        }
+        if (const char *v = flagValue("--threads")) {
+            eng.threads = static_cast<size_t>(std::strtoull(v, nullptr, 10));
             continue;
         }
         if (!cfg.parseAssignment(argv[i])) {
@@ -218,10 +339,10 @@ main(int argc, char **argv)
     }
     const sim::FaultPlan plan = makeFaultPlan(cfg, plan_file);
     if (std::strcmp(argv[1], "memcached") == 0) {
-        return runMemcached(cfg, plan);
+        return runMemcached(cfg, plan, eng);
     }
     if (std::strcmp(argv[1], "incast") == 0) {
-        return runIncast(cfg, plan);
+        return runIncast(cfg, plan, eng);
     }
     std::fprintf(stderr, "unknown experiment '%s'\n", argv[1]);
     return 2;
