@@ -65,6 +65,13 @@ class TrajectoryReporter : public benchmark::BenchmarkReporter {
             if (it != run.counters.end()) {
                 e.items_per_second = it->second.value;
             }
+            // Carry every other user counter (e.g. allocs_per_packet)
+            // so regression guards can check them from the trajectory.
+            for (const auto &kv : run.counters) {
+                if (kv.first != "items_per_second") {
+                    e.counters.emplace_back(kv.first, kv.second.value);
+                }
+            }
             entries_.push_back(std::move(e));
         }
     }
@@ -103,8 +110,11 @@ class TrajectoryReporter : public benchmark::BenchmarkReporter {
             obj << "      { \"name\": \"" << escape(e.name) << "\""
                 << ", \"items_per_second\": " << e.items_per_second
                 << ", \"real_ns_per_iter\": " << e.real_ns_per_iter
-                << ", \"iterations\": " << e.iterations << " }"
-                << (i + 1 < entries_.size() ? ",\n" : "\n");
+                << ", \"iterations\": " << e.iterations;
+            for (const auto &kv : e.counters) {
+                obj << ", \"" << escape(kv.first) << "\": " << kv.second;
+            }
+            obj << " }" << (i + 1 < entries_.size() ? ",\n" : "\n");
         }
         obj << "    ]\n  }";
 
@@ -143,6 +153,7 @@ class TrajectoryReporter : public benchmark::BenchmarkReporter {
         double items_per_second = 0;
         double real_ns_per_iter = 0;
         uint64_t iterations = 0;
+        std::vector<std::pair<std::string, double>> counters;
     };
 
     static std::string

@@ -451,6 +451,29 @@ class EventQueue {
         return {when, std::move(fn)};
     }
 
+    /**
+     * Discard every pending event without running it.  Callback slots
+     * are destroyed (releasing resources their captures own — queued
+     * packet deliveries above all) and their generations bumped, so any
+     * outstanding EventId is inert.  Wakeup entries are dropped with the
+     * heap; their coroutine frames are owned elsewhere (Simulator
+     * tasks_, kernel processes_) and reclaimed by their owners.
+     * Teardown-only: not meant for mid-run use.
+     */
+    void
+    clear()
+    {
+        heap_.clear();
+        live_ = 0;
+        free_head_ = EventId::kInvalidSlot;
+        for (size_t i = 0; i < slots_.size(); ++i) {
+            slots_[i].fn.reset();
+            ++slots_[i].gen;
+            slots_[i].next_free = free_head_;
+            free_head_ = static_cast<uint32_t>(i);
+        }
+    }
+
     /** Total events ever scheduled (for engine throughput reporting). */
     uint64_t scheduledCount() const { return next_seq_; }
 

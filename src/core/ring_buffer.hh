@@ -1,0 +1,140 @@
+#ifndef DIABLO_CORE_RING_BUFFER_HH_
+#define DIABLO_CORE_RING_BUFFER_HH_
+
+/**
+ * @file
+ * Grow-only circular FIFO for hot-path packet queues.
+ *
+ * DIABLO's FPGA models queue packets in fixed BRAM rings; `std::deque`
+ * is the wrong software analog because libstdc++ allocates and frees a
+ * chunk every ~dozen elements as a busy queue cycles across a chunk
+ * boundary — a steady-state allocation per handful of packets.  This
+ * ring keeps one power-of-two storage array that grows geometrically
+ * and never shrinks, so after warm-up push/pop touch no allocator.
+ *
+ * Capacity semantics are the caller's: a descriptor ring of depth N
+ * reserves N slots up front and refuses pushes past its modeled depth
+ * itself (checking size() before push_back, as the NIC does); unbounded
+ * model queues just let the ring double.
+ */
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace diablo {
+
+/** Power-of-two circular FIFO; grows on demand, never shrinks. */
+template <typename T>
+class RingBuffer {
+  public:
+    RingBuffer() = default;
+
+    explicit RingBuffer(size_t capacity) { reserve(capacity); }
+
+    RingBuffer(RingBuffer &&) = default;
+    RingBuffer &operator=(RingBuffer &&) = default;
+    RingBuffer(const RingBuffer &) = delete;
+    RingBuffer &operator=(const RingBuffer &) = delete;
+
+    bool empty() const { return size_ == 0; }
+    size_t size() const { return size_; }
+    size_t capacity() const { return cap_; }
+
+    /** Ensure room for at least @p n elements without further growth. */
+    void
+    reserve(size_t n)
+    {
+        if (n > cap_) {
+            grow(n);
+        }
+    }
+
+    void
+    push_back(T v)
+    {
+        if (size_ == cap_) {
+            grow(cap_ == 0 ? kMinCapacity : cap_ * 2);
+        }
+        buf_[(head_ + size_) & (cap_ - 1)] = std::move(v);
+        ++size_;
+    }
+
+    /** Requeue at the head (e.g. preempted work resuming first). */
+    void
+    push_front(T v)
+    {
+        if (size_ == cap_) {
+            grow(cap_ == 0 ? kMinCapacity : cap_ * 2);
+        }
+        head_ = (head_ + cap_ - 1) & (cap_ - 1);
+        buf_[head_] = std::move(v);
+        ++size_;
+    }
+
+    T &front() { return buf_[head_]; }
+    const T &front() const { return buf_[head_]; }
+
+    T &back() { return buf_[(head_ + size_ - 1) & (cap_ - 1)]; }
+    const T &back() const { return buf_[(head_ + size_ - 1) & (cap_ - 1)]; }
+
+    /** FIFO access: element @p i positions after the front. */
+    T &operator[](size_t i) { return buf_[(head_ + i) & (cap_ - 1)]; }
+    const T &
+    operator[](size_t i) const
+    {
+        return buf_[(head_ + i) & (cap_ - 1)];
+    }
+
+    void
+    pop_front()
+    {
+        buf_[head_] = T{}; // release owned resources promptly
+        head_ = (head_ + 1) & (cap_ - 1);
+        --size_;
+    }
+
+    void
+    clear()
+    {
+        while (size_ != 0) {
+            pop_front();
+        }
+        head_ = 0;
+    }
+
+  private:
+    static constexpr size_t kMinCapacity = 8;
+
+    static size_t
+    roundUpPow2(size_t n)
+    {
+        size_t c = kMinCapacity;
+        while (c < n) {
+            c *= 2;
+        }
+        return c;
+    }
+
+    void
+    grow(size_t want)
+    {
+        const size_t new_cap = roundUpPow2(want);
+        std::unique_ptr<T[]> fresh(new T[new_cap]);
+        for (size_t i = 0; i < size_; ++i) {
+            fresh[i] = std::move(buf_[(head_ + i) & (cap_ - 1)]);
+        }
+        buf_ = std::move(fresh);
+        cap_ = new_cap;
+        head_ = 0;
+    }
+
+    std::unique_ptr<T[]> buf_;
+    size_t cap_ = 0;
+    size_t head_ = 0;
+    size_t size_ = 0;
+};
+
+} // namespace diablo
+
+#endif // DIABLO_CORE_RING_BUFFER_HH_

@@ -12,10 +12,16 @@ EventId
 Simulator::scheduleAt(SimTime when, EventFn fn, int8_t prio)
 {
     if (when < now_) {
-        panic("Simulator::scheduleAt: time %s is in the past (now %s)",
-              when.str().c_str(), now_.str().c_str());
+        schedulePastPanic(when);
     }
     return queue_.schedule(when, std::move(fn), prio);
+}
+
+void
+Simulator::schedulePastPanic(SimTime when) const
+{
+    panic("Simulator::scheduleAt: time %s is in the past (now %s)",
+          when.str().c_str(), now_.str().c_str());
 }
 
 void

@@ -14,6 +14,7 @@
  */
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/event.hh"
@@ -61,6 +62,25 @@ class Simulator {
     /** Schedule a callback at absolute time @p when (must be >= now). */
     EventId scheduleAt(SimTime when, EventFn fn,
                        int8_t prio = event_prio::kDefault);
+
+    /**
+     * Emplace overload of scheduleAt: same slot-direct construction as
+     * the relative-time schedule() template.  The absolute-time path is
+     * just as hot — per-frame tx-done callbacks and switch egress kicks
+     * land here — so it gets the same fast path.
+     */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::remove_cvref_t<F>, EventFn> &&
+                  std::is_invocable_r_v<void, std::remove_cvref_t<F> &>>>
+    EventId
+    scheduleAt(SimTime when, F &&fn, int8_t prio = event_prio::kDefault)
+    {
+        if (when < now_) {
+            schedulePastPanic(when);
+        }
+        return queue_.scheduleEmplace(when, prio, std::forward<F>(fn));
+    }
 
     void cancel(EventId id) { queue_.cancel(id); }
 
@@ -151,9 +171,42 @@ class Simulator {
     uint64_t executedEvents() const { return executed_; }
     uint64_t scheduledEvents() const { return queue_.scheduledCount(); }
 
+    /**
+     * Partition-local attachment slot: one opaque object owned by this
+     * Simulator (net::packetPoolOf hangs the partition's packet pool
+     * here).  Declared as the *first* data member, so it is destroyed
+     * after the event queue and root tasks — anything they still hold
+     * (pending deliveries, suspended frames owning packets) can safely
+     * release back into the attachment during teardown.
+     */
+    void *attachment() { return attachment_.get(); }
+
+    /** Replace the attachment; @p deleter frees it with the Simulator. */
+    void
+    setAttachment(void *obj, void (*deleter)(void *))
+    {
+        attachment_ = AttachmentPtr(obj, deleter);
+    }
+
+    /**
+     * Drop every pending event (callbacks are destroyed, never run) and
+     * all cancellation state.  Teardown-only — fame::PartitionSet uses
+     * it to drain every partition's queue before any Simulator is
+     * destroyed, since a queued cross-partition delivery may own a
+     * packet whose recycling pool lives on another partition.
+     */
+    void discardPendingEvents() { queue_.clear(); }
+
   private:
     void sweepTasks();
     [[noreturn]] void timeWentBackwards(SimTime when) const;
+    [[noreturn]] void schedulePastPanic(SimTime when) const;
+
+    using AttachmentPtr = std::unique_ptr<void, void (*)(void *)>;
+    static void noopDeleter(void *) {}
+
+    /** Must stay the first member (destroyed last); see attachment(). */
+    AttachmentPtr attachment_{nullptr, &noopDeleter};
 
     EventQueue queue_;
     SimTime now_;

@@ -63,6 +63,15 @@ PartitionSet::~PartitionSet()
     for (auto &w : pool_) {
         w.join();
     }
+    // Drain every queue before any Simulator is destroyed: a pending
+    // cross-partition delivery in partition i's queue can own a packet
+    // whose recycling pool is attached to partition j, so no queue may
+    // still hold packets once the first pool dies.  (channels_ is
+    // declared after parts_ and already destructs first, covering
+    // messages still buffered in flight.)
+    for (auto &p : parts_) {
+        p->discardPendingEvents();
+    }
 }
 
 PartitionSet::Channel &

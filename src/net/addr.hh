@@ -13,6 +13,7 @@
  */
 
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -29,43 +30,113 @@ enum class Proto : uint8_t { Udp, Tcp };
 
 const char *protoName(Proto p);
 
+/** Diagnostic for a hop()/advance() past the end of a route; the packet
+ *  id (0 when unknown) names the offender.  Defined in packet.cc. */
+[[noreturn]] void sourceRouteOverrun(uint64_t pkt_id, size_t next,
+                                     size_t hops);
+
 /**
  * Source route: output-port index to take at each successive switch.
  *
  * hop() returns the port for the current switch; advance() is called by
  * each switch's functional model as the packet leaves it.
+ *
+ * Storage is an inline fixed array sized for the deepest route any
+ * supported topology emits (a cross-array Clos path is 5 hops:
+ * rack -> array -> DC -> array -> rack); building one therefore touches
+ * no allocator on the per-packet path.  Deeper routes — experimental
+ * topologies only — spill to a heap vector transparently, and
+ * topo::ClosNetwork static_asserts its diameter against kInlineHops so
+ * the spill can never be hit silently by the shipped fabric.
  */
 class SourceRoute {
   public:
+    /** Inline hop capacity; >= the 5-hop max Clos diameter with room
+     *  for deeper experimental fabrics before the spill engages. */
+    static constexpr size_t kInlineHops = 8;
+
     SourceRoute() = default;
-    explicit SourceRoute(std::vector<uint16_t> ports)
-        : ports_(std::move(ports)) {}
 
-    void append(uint16_t port) { ports_.push_back(port); }
-
-    bool exhausted() const { return next_ >= ports_.size(); }
-    size_t remaining() const { return ports_.size() - next_; }
-    size_t hops() const { return ports_.size(); }
-
-    uint16_t
-    hop() const
+    SourceRoute(std::initializer_list<uint16_t> ports)
     {
-        return ports_[next_];
+        for (uint16_t p : ports) {
+            append(p);
+        }
     }
 
-    void advance() { ++next_; }
+    explicit SourceRoute(const std::vector<uint16_t> &ports)
+    {
+        for (uint16_t p : ports) {
+            append(p);
+        }
+    }
+
+    void
+    append(uint16_t port)
+    {
+        if (hops_ < kInlineHops) {
+            inline_[hops_] = port;
+        } else {
+            spill_.push_back(port);
+        }
+        ++hops_;
+    }
+
+    bool exhausted() const { return next_ >= hops_; }
+    size_t remaining() const { return hops_ - next_; }
+    size_t hops() const { return hops_; }
+
+    /**
+     * Output port at the current switch.  @p pkt_id (the packet's id,
+     * when the caller has one) names the offender if the route is
+     * already exhausted — which previously read past the storage
+     * silently.
+     */
+    uint16_t
+    hop(uint64_t pkt_id = 0) const
+    {
+        if (next_ >= hops_) {
+            sourceRouteOverrun(pkt_id, next_, hops_);
+        }
+        return port(next_);
+    }
+
+    void
+    advance(uint64_t pkt_id = 0)
+    {
+        if (next_ >= hops_) {
+            sourceRouteOverrun(pkt_id, next_, hops_);
+        }
+        ++next_;
+    }
+
+    /** Reset to an empty, un-advanced route (pool recycling). */
+    void
+    clear()
+    {
+        hops_ = 0;
+        next_ = 0;
+        if (!spill_.empty()) {
+            spill_.clear();
+        }
+    }
 
     /** Bytes this route header occupies on the wire (1 byte per hop). */
-    uint32_t headerBytes() const
-    {
-        return static_cast<uint32_t>(ports_.size());
-    }
+    uint32_t headerBytes() const { return static_cast<uint32_t>(hops_); }
 
     std::string str() const;
 
   private:
-    std::vector<uint16_t> ports_;
-    size_t next_ = 0;
+    uint16_t
+    port(size_t i) const
+    {
+        return i < kInlineHops ? inline_[i] : spill_[i - kInlineHops];
+    }
+
+    uint16_t inline_[kInlineHops] = {};
+    uint16_t hops_ = 0;
+    uint16_t next_ = 0;
+    std::vector<uint16_t> spill_; ///< hops beyond kInlineHops (rare)
 };
 
 /** Connection/flow identity: (src, sport, dst, dport, proto). */

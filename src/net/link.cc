@@ -119,7 +119,7 @@ Link::clearDegraded()
 }
 
 void
-Link::scheduleDelivery(SimTime when, PacketPtr p)
+Link::scheduleStandalone(SimTime when, PacketPtr p)
 {
     // The event owns the packet: a run can stop at its horizon with
     // deliveries still queued, and those must be reclaimed with the
@@ -127,6 +127,59 @@ Link::scheduleDelivery(SimTime when, PacketPtr p)
     sim_.scheduleAt(when, [this, p = std::move(p)]() mutable {
         deliverToSink(std::move(p));
     });
+}
+
+void
+Link::scheduleDelivery(SimTime when, PacketPtr p)
+{
+    if (!coalesce_) {
+        scheduleStandalone(when, std::move(p));
+        return;
+    }
+    if (!pending_.empty() && when < pending_.back().when) {
+        // clearDegraded() under in-flight deliveries is the only way
+        // arrivals go non-monotone; keep the train sorted by sending
+        // the early packet through its own event.
+        scheduleStandalone(when, std::move(p));
+        return;
+    }
+    pending_.push_back(PendingDelivery{when, std::move(p)});
+    if (walker_armed_) {
+        // Rode the outstanding walker: no queue slot, no packet-owning
+        // closure, no per-delivery schedule.
+        coalesced_.inc();
+        return;
+    }
+    walker_armed_ = true;
+    trains_.inc();
+    sim_.scheduleAt(when, [this] { walkDeliveries(); });
+}
+
+void
+Link::walkDeliveries()
+{
+    // Deliver everything due.  Entry times strictly increase, so this
+    // is normally exactly one packet — the win is structural: at most
+    // one delivery event is outstanding per link (instead of one per
+    // in-flight packet), its closure is a trivially-destructible
+    // [this], and packets wait in the link's own ring rather than
+    // moving through event-queue slots.  Per-packet delivery times are
+    // preserved exactly: the walker re-arms at the next head's `when`.
+    const SimTime now = sim_.now();
+    while (!pending_.empty() && pending_.front().when <= now) {
+        PacketPtr p = std::move(pending_.front().pkt);
+        pending_.pop_front();
+        // A sink may reenter scheduleDelivery (cascaded forwarding);
+        // the entry is popped first so the train stays consistent.
+        deliverToSink(std::move(p));
+    }
+    if (!pending_.empty()) {
+        sim_.scheduleAt(pending_.front().when, [this] {
+            walkDeliveries();
+        });
+    } else {
+        walker_armed_ = false;
+    }
 }
 
 double

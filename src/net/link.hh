@@ -30,6 +30,7 @@
 #include <string>
 
 #include "core/random.hh"
+#include "core/ring_buffer.hh"
 #include "core/simulator.hh"
 #include "core/stats.hh"
 #include "core/units.hh"
@@ -119,6 +120,28 @@ class Link {
     /** Fraction of elapsed sim time the transmitter was busy. */
     double utilization() const;
 
+    // ---- delivery coalescing -------------------------------------------
+
+    /**
+     * Enable/disable delivery-train coalescing (default: enabled).
+     * Per-packet delivery *times* are identical either way — only how
+     * deliveries map onto engine events changes — so disabling exists
+     * for the equivalence test and for isolating the mechanism in
+     * benchmarks.
+     */
+    void setDeliveryCoalescing(bool on) { coalesce_ = on; }
+    bool deliveryCoalescing() const { return coalesce_; }
+
+    /**
+     * Deliveries that rode an already-armed train instead of paying
+     * for their own queue slot + packet-owning closure (back-to-back
+     * egress bursts — the incast/TCP-window common case).
+     */
+    uint64_t deliveriesCoalesced() const { return coalesced_.value(); }
+
+    /** Walker arms: trains started (1 event outstanding per train). */
+    uint64_t deliveryTrains() const { return trains_.value(); }
+
   protected:
     /**
      * Schedule the handoff of @p p to the attached sink at absolute
@@ -133,6 +156,25 @@ class Link {
     void deliverToSink(PacketPtr p) { sink_->receive(std::move(p)); }
 
   private:
+    /**
+     * One entry of the pending delivery train.  Entries are strictly
+     * monotone in `when` (each frame serializes after the previous one,
+     * so arrival times strictly increase); a non-monotone push — only
+     * possible when clearDegraded() removes the brownout's extra
+     * latency under deliveries still in flight — bypasses the train
+     * with a legacy standalone event instead of reordering it.
+     */
+    struct PendingDelivery {
+        SimTime when;
+        PacketPtr pkt;
+    };
+
+    /** Deliver every due train entry, then re-arm at the next head. */
+    void walkDeliveries();
+
+    /** Pre-coalescing path: one packet-owning event per delivery. */
+    void scheduleStandalone(SimTime when, PacketPtr p);
+
     Simulator &sim_;
     std::string name_;
     Bandwidth bw_;
@@ -153,6 +195,12 @@ class Link {
     Rng degrade_rng_{0x11A8D1AB70ULL};
     Counter down_drops_;
     Counter degrade_drops_;
+
+    bool coalesce_ = true;
+    bool walker_armed_ = false;
+    RingBuffer<PendingDelivery> pending_;
+    Counter coalesced_;
+    Counter trains_;
 };
 
 } // namespace net

@@ -14,6 +14,7 @@
  * literal byte image.
  */
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -23,7 +24,12 @@
 #include "net/addr.hh"
 
 namespace diablo {
+
+class Simulator;
+
 namespace net {
+
+class PacketPool;
 
 /** TCP header flags. */
 namespace tcp_flags {
@@ -80,6 +86,14 @@ struct Packet {
 
     uint32_t hop_count = 0;     ///< switches traversed so far
 
+    /**
+     * Origin pool (null for plain heap packets) and its intrusive
+     * freelist link.  Set once by PacketPool::make() and never by model
+     * code; the custom PacketPtr deleter routes the packet home.
+     */
+    PacketPool *pool = nullptr;
+    Packet *pool_next = nullptr;
+
     /** Transport header size for this packet's protocol. */
     uint32_t transportHeaderBytes() const;
 
@@ -92,10 +106,100 @@ struct Packet {
     std::string str() const;
 };
 
-using PacketPtr = std::unique_ptr<Packet>;
+/**
+ * PacketPtr deleter: pooled packets recycle to their origin pool,
+ * plain ones are heap-freed.  Stateless and default-constructible, so
+ * PacketPtr stays pointer-sized, remains constructible from a raw
+ * Packet* (release()/reacquire patterns in the kernel keep working),
+ * and closures capturing a PacketPtr stay within the EventFn
+ * small-buffer budget.
+ */
+struct PacketDeleter {
+    void operator()(Packet *p) const;
+};
 
-/** Create a packet with a fresh globally unique id. */
+using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
+
+/**
+ * Per-partition recycling freelist behind makePacket(Simulator&).
+ *
+ * The software analog of DIABLO's fixed BRAM packet rings (§4.2): after
+ * warm-up the NIC -> link -> switch -> kernel traversal reuses warm
+ * Packet slabs with zero malloc/free.  A packet always recycles to the
+ * pool that created it — pools are owned by one partition (make() is
+ * called only from its events) but a packet may die in another (e.g. a
+ * drop at a remote switch), so the freelist is a Treiber stack with
+ * thread-safe multi-producer push and single-consumer pop.  ABA cannot
+ * occur: only the owning partition pops, so a node's next link is
+ * stable while it is reachable.  The inter-quantum barriers of the
+ * parallel engine provide the happens-before between a remote recycle
+ * and a later pop.
+ */
+class PacketPool {
+  public:
+    PacketPool() = default;
+    PacketPool(const PacketPool &) = delete;
+    PacketPool &operator=(const PacketPool &) = delete;
+    ~PacketPool();
+
+    /** A fully reset packet with a fresh globally unique id. */
+    PacketPtr make();
+
+    // --- stats (exported per partition) ---------------------------------
+
+    /** Packets handed out (pool hits + heap allocations). */
+    uint64_t makes() const { return makes_; }
+
+    /** make() calls served from the freelist (no allocator). */
+    uint64_t recycles() const { return makes_ - heap_allocs_; }
+
+    /**
+     * make() calls that fell through to the heap.  Steady state is
+     * zero; in a parallel run the split between recycles and heap
+     * allocs depends on wall-clock interleaving (a remote recycle may
+     * land after the next make), so only makes()/returns() are
+     * deterministic across engines.
+     */
+    uint64_t heapAllocs() const { return heap_allocs_; }
+
+    /** Packets returned (from any thread) over the pool's lifetime. */
+    uint64_t returns() const
+    {
+        return returns_.load(std::memory_order_relaxed);
+    }
+
+    /** Maximum packets simultaneously live, sampled at make(). */
+    uint64_t highWater() const { return high_water_; }
+
+  private:
+    friend struct PacketDeleter;
+
+    /** Thread-safe push of a dead packet onto the freelist. */
+    void recycle(Packet *p);
+
+    std::atomic<Packet *> free_head_{nullptr};
+    uint64_t makes_ = 0;
+    uint64_t heap_allocs_ = 0;
+    uint64_t high_water_ = 0;
+    std::atomic<uint64_t> returns_{0};
+};
+
+/** Create a plain heap packet with a fresh globally unique id. */
 PacketPtr makePacket();
+
+/**
+ * Create a packet from @p sim's partition-local pool (created on first
+ * use, attached to the Simulator, destroyed with it).  This is the
+ * datapath entry point: every steady-state packet build goes through
+ * here so traversal is allocation-free after warm-up.
+ */
+PacketPtr makePacket(Simulator &sim);
+
+/** The partition pool of @p sim, creating it on first use. */
+PacketPool &packetPoolOf(Simulator &sim);
+
+/** The partition pool of @p sim, or null if none was created yet. */
+PacketPool *packetPoolIfAttached(Simulator &sim);
 
 /** Destination for packets: NIC RX, switch ingress ports, sinks. */
 class PacketSink {

@@ -24,6 +24,10 @@ NicParams::fromConfig(const Config &cfg, const std::string &prefix)
 NicModel::NicModel(Simulator &sim, std::string name, const NicParams &params)
     : sim_(sim), name_(std::move(name)), params_(params)
 {
+    // Reserve the full descriptor-ring depth up front: the rings never
+    // allocate again, matching the fixed host-memory rings they model.
+    tx_ring_.reserve(params_.tx_ring_entries);
+    rx_ring_.reserve(params_.rx_ring_entries);
 }
 
 void
@@ -53,7 +57,12 @@ void
 NicModel::txEnqueue(net::PacketPtr p)
 {
     if (txRingFull()) {
-        panic("NIC %s: txEnqueue on full ring", name_.c_str());
+        // The driver contract is to check txRingFull() first (the
+        // kernel's qdisc pump does); a racing enqueue is accounted as
+        // a counted drop — degradation, not a panic — mirroring what
+        // posting past the hardware tail pointer would do to the frame.
+        tx_ring_drops_.inc();
+        return;
     }
     tx_ring_.push_back(std::move(p));
     txPump();

@@ -24,10 +24,10 @@
  *    the paper).
  */
 
-#include <deque>
 #include <string>
 
 #include "core/config.hh"
+#include "core/ring_buffer.hh"
 #include "core/simulator.hh"
 #include "core/stats.hh"
 #include "net/link.hh"
@@ -84,6 +84,8 @@ class NicModel : public os::NicDevice, public net::PacketSink {
 
     const NicParams &params() const { return params_; }
     uint64_t rxRingDrops() const { return rx_ring_drops_.value(); }
+    /** Packets dropped because the TX descriptor ring was full. */
+    uint64_t txRingDrops() const { return tx_ring_drops_.value(); }
     uint64_t rxPackets() const { return rx_packets_.value(); }
     uint64_t txPackets() const { return tx_packets_.value(); }
     uint64_t interruptsRaised() const { return irqs_.value(); }
@@ -98,14 +100,20 @@ class NicModel : public os::NicDevice, public net::PacketSink {
     net::Link *tx_link_ = nullptr;
     os::Kernel *kernel_ = nullptr;
 
-    std::deque<net::PacketPtr> tx_ring_;
-    std::deque<net::PacketPtr> rx_ring_;
+    /**
+     * Descriptor rings: fixed-capacity circular buffers reserved at the
+     * modeled 8254x ring depth — the hardware analog (a ring in host
+     * memory never grows), and allocation-free after construction.
+     */
+    RingBuffer<net::PacketPtr> tx_ring_;
+    RingBuffer<net::PacketPtr> rx_ring_;
 
     bool irq_enabled_ = true;
     bool irq_scheduled_ = false;
     SimTime last_irq_ = SimTime::fromPs(-1);
 
     Counter rx_ring_drops_;
+    Counter tx_ring_drops_;
     Counter rx_packets_;
     Counter tx_packets_;
     Counter irqs_;

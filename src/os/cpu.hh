@@ -24,12 +24,11 @@
  */
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <optional>
 #include <vector>
 
 #include "core/config.hh"
+#include "core/ring_buffer.hh"
 #include "core/simulator.hh"
 
 namespace diablo {
@@ -59,7 +58,14 @@ struct CpuParams {
 /** Fixed-CPI CPU resource with one or more cores. */
 class Cpu {
   public:
-    using CompletionFn = std::function<void()>;
+    /**
+     * Completion callback.  An InlineFunction, not std::function: the
+     * kernel's per-packet softirq submissions capture `this` plus a raw
+     * packet pointer and a budget — past std::function's 16-byte SBO,
+     * which would heap-allocate once per received packet.  The 40-byte
+     * inline budget absorbs every capture in the tree.
+     */
+    using CompletionFn = InlineFunction;
 
     /**
      * @param timeslice_cycles  user-class round-robin quantum
@@ -127,9 +133,9 @@ class Cpu {
 
   private:
     struct Work {
-        SchedClass cls;
-        uint64_t remaining;
-        uint64_t tag;
+        SchedClass cls = SchedClass::User;
+        uint64_t remaining = 0;
+        uint64_t tag = 0;
         CompletionFn done;
         uint64_t slice_used = 0;
     };
@@ -154,7 +160,7 @@ class Cpu {
     uint64_t timeslice_cycles_;
     uint64_t context_switch_cycles_;
 
-    std::deque<Work> q_[kNumSchedClasses];
+    RingBuffer<Work> q_[kNumSchedClasses];
     std::vector<Slot> slots_;
 
     uint64_t ctx_switches_ = 0;

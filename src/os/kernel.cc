@@ -346,7 +346,7 @@ Kernel::sysSendTo(Thread &t, int fd, net::NodeId dst, uint16_t dport,
     const uint64_t dgram_id = next_dgram_id_++;
     uint64_t off = 0;
     for (uint64_t i = 0; i < nfrags; ++i) {
-        auto p = net::makePacket();
+        auto p = allocPacket();
         p->flow = net::FlowKey{node_, dst, s->local_port, dport,
                                net::Proto::Udp};
         const uint64_t chunk = std::min(kUdpFragPayload, bytes - off);
@@ -546,6 +546,12 @@ Kernel::sysClose(Thread &t, int fd)
 // Stack-internal services
 // ---------------------------------------------------------------------
 
+net::PacketPtr
+Kernel::allocPacket()
+{
+    return net::makePacket(sim_);
+}
+
 void
 Kernel::stackTransmit(net::PacketPtr p)
 {
@@ -656,7 +662,7 @@ Kernel::addTimer(SimTime delay, EventFn fn)
         // context; charge any stack work they generated as softirq.
         uint64_t charge = drainTxCharge();
         if (charge) {
-            cpu_->submit(SchedClass::SoftIrq, charge, 0, nullptr);
+            cpu_->submit(SchedClass::SoftIrq, charge, 0, {});
         }
     }, event_prio::kTimer);
 }
@@ -668,7 +674,7 @@ Kernel::addHrTimer(SimTime delay, EventFn fn)
         fn();
         uint64_t charge = drainTxCharge();
         if (charge) {
-            cpu_->submit(SchedClass::SoftIrq, charge, 0, nullptr);
+            cpu_->submit(SchedClass::SoftIrq, charge, 0, {});
         }
     }, event_prio::kTimer);
 }
@@ -862,7 +868,7 @@ Kernel::sendRst(const net::Packet &to)
     if (to.tcp.has(net::tcp_flags::kRst)) {
         return; // never answer a RST with a RST
     }
-    auto p = net::makePacket();
+    auto p = allocPacket();
     p->flow = to.flow.reversed();
     p->tcp.flags = net::tcp_flags::kRst;
     stackTransmit(std::move(p));
@@ -894,7 +900,7 @@ Kernel::onPassiveEstablished(TcpConnection &conn)
     Socket *ls = listeningSocket(conn.flow().sport);
     if (ls == nullptr || ls->accept_queue.size() >= ls->backlog_max) {
         // Listener gone or backlog overflow: reset the peer.
-        auto p = net::makePacket();
+        auto p = allocPacket();
         p->flow = conn.flow();
         p->tcp.flags = net::tcp_flags::kRst;
         stackTransmit(std::move(p));

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/config.hh"
+#include "core/ring_buffer.hh"
 #include "core/simulator.hh"
 #include "core/task.hh"
 #include "net/packet.hh"
@@ -174,6 +175,13 @@ class Kernel {
     // ------------------------------------------------------------------
 
     /**
+     * Build a fresh packet from this server's partition-local pool —
+     * the allocation-free steady-state path every stack-originated
+     * packet (TCP segment, UDP fragment, RST) must use.
+     */
+    net::PacketPtr allocPacket();
+
+    /**
      * Hand a fully built packet to the qdisc/NIC and account the TX
      * stack cycles against the current context (see drainTxCharge()).
      */
@@ -307,7 +315,9 @@ class Kernel {
     /** Connections owned before their socket has an fd (pre-accept). */
     std::deque<std::unique_ptr<Socket>> embryonic_sockets_;
 
-    std::deque<net::PacketPtr> qdisc_;
+    /** Device egress queue; a ring so steady-state cycling of a busy
+     *  queue never touches the allocator (deque chunk churn did). */
+    RingBuffer<net::PacketPtr> qdisc_;
     uint64_t qdisc_limit_pkts_ = 1000; ///< txqueuelen
     /**
      * The transmit stack runs on the fixed-CPI core, so packets reach

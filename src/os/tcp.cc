@@ -81,7 +81,7 @@ void
 TcpConnection::transmitSegment(uint64_t seq, uint32_t len, uint8_t flags,
                                bool retransmission)
 {
-    auto p = net::makePacket();
+    auto p = kernel_.allocPacket();
     p->flow = flow_;
 
     // The FIN occupies one virtual byte of sequence space at the stream

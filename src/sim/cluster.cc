@@ -267,5 +267,61 @@ Cluster::totalNicRxDrops() const
     return n;
 }
 
+uint64_t
+Cluster::totalNicTxRingDrops() const
+{
+    uint64_t n = 0;
+    for (const auto &s : servers_) {
+        n += s.nic->txRingDrops();
+    }
+    return n;
+}
+
+std::vector<Cluster::PoolStats>
+Cluster::poolStats() const
+{
+    auto snapshot = [](Simulator &sim) {
+        PoolStats ps;
+        if (const net::PacketPool *pool = net::packetPoolIfAttached(sim)) {
+            ps.makes = pool->makes();
+            ps.recycles = pool->recycles();
+            ps.heap_allocs = pool->heapAllocs();
+            ps.returns = pool->returns();
+            ps.high_water = pool->highWater();
+        }
+        return ps;
+    };
+    std::vector<PoolStats> out;
+    if (ps_ != nullptr) {
+        out.reserve(ps_->size());
+        for (size_t i = 0; i < ps_->size(); ++i) {
+            out.push_back(snapshot(ps_->partition(i)));
+        }
+    } else {
+        out.push_back(snapshot(*sim_));
+    }
+    return out;
+}
+
+uint64_t
+Cluster::totalDeliveriesCoalesced() const
+{
+    uint64_t n = network_->totalDeliveriesCoalesced();
+    for (const auto &s : servers_) {
+        n += s.uplink->deliveriesCoalesced();
+    }
+    return n;
+}
+
+uint64_t
+Cluster::totalDeliveryTrains() const
+{
+    uint64_t n = network_->totalDeliveryTrains();
+    for (const auto &s : servers_) {
+        n += s.uplink->deliveryTrains();
+    }
+    return n;
+}
+
 } // namespace sim
 } // namespace diablo

@@ -145,6 +145,32 @@ class Cluster {
     uint64_t totalCrashRxDiscards() const;
     uint64_t totalUdpSocketDrops() const;
     uint64_t totalNicRxDrops() const;
+    /** Descriptor-ring-full drops across every NIC tx ring. */
+    uint64_t totalNicTxRingDrops() const;
+
+    /** Snapshot of one partition's packet pool counters. */
+    struct PoolStats {
+        uint64_t makes = 0;       ///< packets handed out by the pool
+        uint64_t recycles = 0;    ///< makes served from the freelist
+        uint64_t heap_allocs = 0; ///< makes that hit operator new
+        uint64_t returns = 0;     ///< packets pushed back (any thread)
+        uint64_t high_water = 0;  ///< max packets simultaneously live
+    };
+
+    /**
+     * Per-partition pool counters, one entry per engine partition (a
+     * single entry for a non-sharded cluster).  Partitions whose pool
+     * was never touched report all-zero.  makes/returns are
+     * event-driven and bit-identical seq vs par; heap_allocs,
+     * recycles and high_water depend on recycle timing and are only
+     * deterministic within one engine mode.
+     */
+    std::vector<PoolStats> poolStats() const;
+
+    /** Link deliveries that rode an armed train (fabric + uplinks). */
+    uint64_t totalDeliveriesCoalesced() const;
+    /** Train walker events armed (fabric + uplinks). */
+    uint64_t totalDeliveryTrains() const;
 
   private:
     struct ServerNode {

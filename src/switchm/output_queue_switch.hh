@@ -11,10 +11,10 @@
  * minimal so ablations isolate the effect of the VOQ architecture.
  */
 
-#include <deque>
 #include <memory>
 #include <vector>
 
+#include "core/ring_buffer.hh"
 #include "core/simulator.hh"
 #include "switchm/buffer_manager.hh"
 #include "switchm/switch.hh"
@@ -56,7 +56,7 @@ class OutputQueueSwitch : public Switch {
 
     struct Output {
         net::Link *link = nullptr;
-        std::deque<Queued> fifo;
+        RingBuffer<Queued> fifo;
         EventId pending_kick;
         uint64_t drops = 0;
     };

@@ -50,8 +50,8 @@ VoqSwitch::handleIngress(uint32_t in_port, net::PacketPtr p)
         panic("%s: packet %s arrived with exhausted route",
               params_.name.c_str(), p->str().c_str());
     }
-    const uint32_t out = p->route.hop();
-    p->route.advance();
+    const uint32_t out = p->route.hop(p->id);
+    p->route.advance(p->id);
     ++p->hop_count;
     if (out >= outputs_.size()) {
         panic("%s: route names invalid output port %u",

@@ -21,10 +21,10 @@
  * before its ingress bits have arrived.
  */
 
-#include <deque>
 #include <memory>
 #include <vector>
 
+#include "core/ring_buffer.hh"
 #include "core/simulator.hh"
 #include "switchm/buffer_manager.hh"
 #include "switchm/switch.hh"
@@ -74,8 +74,9 @@ class VoqSwitch : public Switch {
 
     struct Output {
         net::Link *link = nullptr;
-        /** One virtual queue per input port. */
-        std::vector<std::deque<Queued>> voq;
+        /** One virtual queue per input port (grow-only rings: a busy
+         *  VOQ cycling at steady state never touches the allocator). */
+        std::vector<RingBuffer<Queued>> voq;
         uint32_t rr = 0;
         uint32_t queued_pkts = 0;
         EventId pending_kick;

@@ -478,6 +478,11 @@ choosePlane(uint64_t h, uint32_t planes, LiveFn live, uint64_t &reroutes)
 
 } // namespace
 
+// The deepest Clos path is 5 hops (rack → array → DC → array → rack);
+// every route() below must fit the inline hop array with no spill.
+static_assert(net::SourceRoute::kInlineHops >= 5,
+              "SourceRoute inline capacity below max Clos diameter");
+
 net::SourceRoute
 ClosNetwork::route(net::NodeId src, net::NodeId dst) const
 {
@@ -626,6 +631,24 @@ ClosNetwork::totalLinkDegradeDrops() const
     return sumLinks(tor_up_links_, drops) + sumLinks(arr_down_links_, drops) +
            sumLinks(arr_up_links_, drops) + sumLinks(dc_down_links_, drops) +
            sumLinks(server_links_, drops);
+}
+
+uint64_t
+ClosNetwork::totalDeliveriesCoalesced() const
+{
+    auto c = [](const net::Link &l) { return l.deliveriesCoalesced(); };
+    return sumLinks(tor_up_links_, c) + sumLinks(arr_down_links_, c) +
+           sumLinks(arr_up_links_, c) + sumLinks(dc_down_links_, c) +
+           sumLinks(server_links_, c);
+}
+
+uint64_t
+ClosNetwork::totalDeliveryTrains() const
+{
+    auto c = [](const net::Link &l) { return l.deliveryTrains(); };
+    return sumLinks(tor_up_links_, c) + sumLinks(arr_down_links_, c) +
+           sumLinks(arr_up_links_, c) + sumLinks(dc_down_links_, c) +
+           sumLinks(server_links_, c);
 }
 
 } // namespace topo

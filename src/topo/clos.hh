@@ -217,6 +217,10 @@ class ClosNetwork {
     uint64_t totalLinkDownDrops() const;
     /** Frames lost fabric-wide to link brownouts. */
     uint64_t totalLinkDegradeDrops() const;
+    /** Deliveries that rode an already-armed train event (fabric links). */
+    uint64_t totalDeliveriesCoalesced() const;
+    /** Train walker events armed across all fabric links. */
+    uint64_t totalDeliveryTrains() const;
 
     // --- introspection / stats ---
     size_t numRackSwitches() const { return rack_switches_.size(); }

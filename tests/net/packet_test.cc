@@ -36,6 +36,53 @@ TEST(SourceRoute, Append)
     EXPECT_EQ(r.hop(), 9);
 }
 
+TEST(SourceRoute, SpillsPastInlineCapacity)
+{
+    // Routes longer than the inline hop array (deeper than any Clos
+    // path we build) must still work via the spill vector.
+    SourceRoute r;
+    const uint16_t n = SourceRoute::kInlineHops + 4;
+    for (uint16_t i = 0; i < n; ++i) {
+        r.append(static_cast<uint16_t>(i * 10));
+    }
+    EXPECT_EQ(r.hops(), n);
+    EXPECT_EQ(r.headerBytes(), n);
+    for (uint16_t i = 0; i < n; ++i) {
+        ASSERT_FALSE(r.exhausted()) << "hop " << i;
+        EXPECT_EQ(r.hop(), i * 10);
+        r.advance();
+    }
+    EXPECT_TRUE(r.exhausted());
+}
+
+TEST(SourceRoute, ClearResetsSpilledRoute)
+{
+    SourceRoute r;
+    for (uint16_t i = 0; i < SourceRoute::kInlineHops + 2; ++i) {
+        r.append(i);
+    }
+    r.advance();
+    r.clear();
+    EXPECT_EQ(r.hops(), 0u);
+    EXPECT_TRUE(r.exhausted());
+    r.append(5);
+    EXPECT_EQ(r.hop(), 5);
+}
+
+TEST(SourceRouteDeathTest, HopPastEndNamesThePacket)
+{
+    SourceRoute r({4});
+    r.advance(77);
+    EXPECT_TRUE(r.exhausted());
+    EXPECT_DEATH(r.hop(77), "packet #77");
+}
+
+TEST(SourceRouteDeathTest, AdvancePastEndIsFatal)
+{
+    SourceRoute r;
+    EXPECT_DEATH(r.advance(123), "packet #123");
+}
+
 TEST(FlowKey, ReversedSwapsEndpoints)
 {
     FlowKey k{10, 20, 1000, 11211, Proto::Tcp};

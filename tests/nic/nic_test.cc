@@ -50,6 +50,34 @@ TEST(NicModel, RxRingOverflowDrops)
     EXPECT_EQ(nic.rxRingDrops(), 6u);
 }
 
+TEST(NicModel, TxRingOverflowIsACountedDrop)
+{
+    // A descriptor-ring-full transmit is dropped and counted, exactly
+    // like the rx side (and like real 8254x hardware under a stalled
+    // driver) — it must not take the simulation down.
+    struct NullSink : net::PacketSink {
+        void receive(net::PacketPtr) override {}
+    } sink;
+    Simulator sim;
+    NicParams params;
+    params.tx_ring_entries = 4;
+    NicModel nic(sim, "n", params);
+    net::Link link(sim, "l", Bandwidth::gbps(1), 0_ns);
+    link.connectTo(sink);
+    nic.attachTxLink(link);
+    // One burst inside a single event: the first frame occupies the
+    // serializer, the next four fill the ring, the last two overflow.
+    sim.schedule(0_ns, [&] {
+        for (int i = 0; i < 7; ++i) {
+            nic.txEnqueue(smallPacket());
+        }
+        EXPECT_TRUE(nic.txRingFull());
+    });
+    sim.run();
+    EXPECT_EQ(nic.txRingDrops(), 2u);
+    EXPECT_EQ(nic.txPackets(), 5u);
+}
+
 TEST(NicModel, DmaLatencyDelaysVisibility)
 {
     Simulator sim;

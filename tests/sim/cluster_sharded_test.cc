@@ -5,6 +5,7 @@
 
 #include "apps/incast.hh"
 #include "sim/cluster.hh"
+#include "sim/fault.hh"
 
 namespace diablo {
 namespace sim {
@@ -50,7 +51,8 @@ struct ShardedOutcome {
 };
 
 ShardedOutcome
-runShardedIncast(bool parallel, size_t threads = 0)
+runShardedIncast(bool parallel, size_t threads = 0,
+                 bool with_faults = false)
 {
     const ClusterParams params = fourRackParams();
     fame::PartitionSet ps(Cluster::partitionsRequired(params));
@@ -58,6 +60,17 @@ runShardedIncast(bool parallel, size_t threads = 0)
     Cluster cluster(ps, params);
     EXPECT_TRUE(cluster.sharded());
     EXPECT_EQ(cluster.partitionSet(), &ps);
+
+    std::unique_ptr<FaultController> fc;
+    if (with_faults) {
+        FaultPlan plan(params.seed);
+        plan.trunkDown(2_ms, /*rack=*/1, /*plane=*/0);
+        plan.trunkBrownout(3_ms, /*rack=*/2, 0, /*loss=*/0.1, 2_us);
+        plan.trunkUp(300_ms, 1, 0);
+        plan.trunkRepair(300_ms, 2, 0);
+        fc = std::make_unique<FaultController>(cluster, plan);
+        fc->install();
+    }
 
     // Client in rack 0; every server in racks 1..3 responds, so all
     // block traffic converges through the client ToR's shallow-buffer
@@ -104,6 +117,14 @@ runShardedIncast(bool parallel, size_t threads = 0)
     for (size_t i = 0; i < ps.size(); ++i) {
         fp.push_back(ps.partition(i).executedEvents());
     }
+    // Packet-pool traffic is event-driven, so makes/returns per
+    // partition must also be bit-identical across engines.  (The
+    // recycle/heap split is wall-clock-dependent and deliberately
+    // excluded.)
+    for (const Cluster::PoolStats &p : cluster.poolStats()) {
+        fp.push_back(p.makes);
+        fp.push_back(p.returns);
+    }
     return out;
 }
 
@@ -132,6 +153,22 @@ TEST(ClusterSharded, SequentialAndParallelAreBitIdentical)
     ShardedOutcome seq = runShardedIncast(false);
     for (size_t threads : {1u, 2u, 5u, 0u}) {
         ShardedOutcome par = runShardedIncast(true, threads);
+        EXPECT_EQ(seq.fingerprint, par.fingerprint)
+            << "threads=" << threads;
+    }
+}
+
+// Same invariant with the datapath under fault stress: link-down
+// drops, brownout losses and the recovery retransmit storm all route
+// dead packets back to foreign pools, and the pool make/return
+// ledgers must still be bit-identical between engines.
+TEST(ClusterSharded, PoolLedgersBitIdenticalUnderFaultPlan)
+{
+    ShardedOutcome seq =
+        runShardedIncast(false, 0, /*with_faults=*/true);
+    for (size_t threads : {1u, 0u}) {
+        ShardedOutcome par =
+            runShardedIncast(true, threads, /*with_faults=*/true);
         EXPECT_EQ(seq.fingerprint, par.fingerprint)
             << "threads=" << threads;
     }

@@ -1,23 +1,34 @@
 #!/usr/bin/env python3
-"""Guard the parallel engine's degenerate-fusion cost in CI.
+"""Guard engine and datapath performance invariants in CI.
 
-Reads a google-benchmark JSON file (--benchmark_out) containing
-BM_ClusterIncastSharded rows and checks that the fused parallel engine
-capped at one worker (par:1/threads:1) retains at least a minimum
-fraction of the sequential reference's event throughput (par:0) at the
-same cluster shape.  That ratio is the engine's "sync tax" with all
-parallelism removed: fusion + the solo-worker fast path should make it
-a few percent, and a regression here means every multi-threaded run
-pays more too.
+Two modes:
+
+sync (default) — reads a google-benchmark JSON file (--benchmark_out)
+containing BM_ClusterIncastSharded rows and checks that the fused
+parallel engine capped at one worker (par:1/threads:1) retains at least
+a minimum fraction of the sequential reference's event throughput
+(par:0) at the same cluster shape.  That ratio is the engine's "sync
+tax" with all parallelism removed: fusion + the solo-worker fast path
+should make it a few percent, and a regression here means every
+multi-threaded run pays more too.
+
+packet (--mode packet) — reads a BENCH_packet.json trajectory written
+by bench/microbench_packet and enforces the allocation-free datapath
+contract: every benchmark in the newest entry must report exactly 0
+allocs_per_packet, and throughput must not have fallen more than
+--max-regression (default 20%) below the previous trajectory entry for
+the same benchmark (first runs pass vacuously).
 
 Usage:
     bench_guard.py <benchmark.json> [--racks N] [--min-ratio R]
+    bench_guard.py BENCH_packet.json --mode packet [--max-regression F]
 
-Exit status 0 when the ratio holds, 1 on a regression or missing rows.
-Timings on shared CI runners are noisy, so the default floor (0.8) is
-far below the ~0.95 measured on an idle host: this catches an engine
-that fell off a cliff (e.g. back to barrier-per-quantum condvar costs),
-not a few points of jitter.
+Exit status 0 when the invariants hold, 1 on a regression or missing
+rows.  Timings on shared CI runners are noisy, so the default floors
+(0.8 sync ratio, 20% packet regression) are far below what an idle host
+measures: these catch cliffs, not jitter.  allocs_per_packet has no
+tolerance at all — one allocation on the steady-state path is a leak of
+the whole design.
 """
 
 import argparse
@@ -46,15 +57,67 @@ def items_per_second(bench):
     return float(ips)
 
 
+def check_packet(path, max_regression):
+    """Enforce the allocation-free datapath contract on a trajectory."""
+    with open(path) as f:
+        data = json.load(f)
+    if not isinstance(data, list) or not data:
+        print(f"bench_guard: {path} is not a non-empty trajectory",
+              file=sys.stderr)
+        return 1
+
+    newest = data[-1].get("benchmarks", [])
+    if not newest:
+        print(f"bench_guard: newest entry in {path} has no benchmarks",
+              file=sys.stderr)
+        return 1
+    previous = data[-2].get("benchmarks", []) if len(data) >= 2 else []
+    prev_ips = {b.get("name"): b.get("items_per_second")
+                for b in previous}
+
+    failed = False
+    for bench in newest:
+        name = bench.get("name", "?")
+        allocs = bench.get("allocs_per_packet")
+        if allocs is None:
+            print(f"bench_guard: {name}: no allocs_per_packet counter",
+                  file=sys.stderr)
+            failed = True
+            continue
+        ips = items_per_second(bench)
+        verdict = "OK"
+        if float(allocs) != 0.0:
+            verdict = f"ALLOC-REGRESSION ({allocs} allocs/packet)"
+            failed = True
+        old = prev_ips.get(name)
+        if old and ips < (1.0 - max_regression) * float(old):
+            verdict = (f"THROUGHPUT-REGRESSION "
+                       f"({ips:.3e} < {1.0 - max_regression:.2f} * "
+                       f"{float(old):.3e})")
+            failed = True
+        print(f"bench_guard: {name} items/s={ips:.3e} "
+              f"allocs/pkt={allocs} {verdict}")
+    return 1 if failed else 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("json_file")
+    ap.add_argument("--mode", choices=["sync", "packet"], default="sync",
+                    help="which invariant to check (default sync)")
     ap.add_argument("--racks", type=int, default=4,
                     help="cluster shape to compare (default 4)")
     ap.add_argument("--min-ratio", type=float, default=0.8,
                     help="minimum par:1/threads:1 vs seq throughput "
                          "ratio (default 0.8)")
+    ap.add_argument("--max-regression", type=float, default=0.2,
+                    help="packet mode: max fractional throughput drop "
+                         "vs the previous trajectory entry (default "
+                         "0.2)")
     opts = ap.parse_args()
+
+    if opts.mode == "packet":
+        return check_packet(opts.json_file, opts.max_regression)
 
     with open(opts.json_file) as f:
         data = json.load(f)

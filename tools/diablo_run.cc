@@ -107,6 +107,43 @@ printFaultOutcome(sim::Cluster &cluster)
                     cluster.totalCrashRxDiscards()));
 }
 
+/**
+ * Per-partition packet-pool counters plus the datapath batching
+ * totals, printed next to the engine's quanta/executed-event figures
+ * so a perf regression in one partition's pool is visible at a glance.
+ */
+void
+printDatapathStats(sim::Cluster &cluster)
+{
+    const auto pools = cluster.poolStats();
+    fame::PartitionSet *ps = cluster.partitionSet();
+    for (size_t i = 0; i < pools.size(); ++i) {
+        const auto &p = pools[i];
+        const uint64_t events = ps != nullptr
+                                    ? ps->partition(i).executedEvents()
+                                    : cluster.sim().executedEvents();
+        std::printf("  part %zu: events=%llu pool makes=%llu "
+                    "recycles=%llu heap=%llu returns=%llu "
+                    "high_water=%llu\n",
+                    i, static_cast<unsigned long long>(events),
+                    static_cast<unsigned long long>(p.makes),
+                    static_cast<unsigned long long>(p.recycles),
+                    static_cast<unsigned long long>(p.heap_allocs),
+                    static_cast<unsigned long long>(p.returns),
+                    static_cast<unsigned long long>(p.high_water));
+    }
+    std::printf("datapath: quanta=%llu trains=%llu coalesced=%llu "
+                "nic_tx_ring_drops=%llu\n",
+                static_cast<unsigned long long>(
+                    ps != nullptr ? ps->quantaExecuted() : 0),
+                static_cast<unsigned long long>(
+                    cluster.totalDeliveryTrains()),
+                static_cast<unsigned long long>(
+                    cluster.totalDeliveriesCoalesced()),
+                static_cast<unsigned long long>(
+                    cluster.totalNicTxRingDrops()));
+}
+
 int
 runMemcached(const Config &cfg, const sim::FaultPlan &plan,
              const EngineOpts &eng)
@@ -182,6 +219,7 @@ runMemcached(const Config &cfg, const sim::FaultPlan &plan,
                     exp->cluster().network().totalSwitchDrops()),
                 static_cast<unsigned long long>(
                     exp->cluster().totalTcpRtos()));
+    printDatapathStats(exp->cluster());
     if (!plan.empty()) {
         printFaultOutcome(exp->cluster());
     }
@@ -273,6 +311,7 @@ runIncast(const Config &cfg, const sim::FaultPlan &plan,
                     cluster->totalTcpRetransmits()));
     std::printf("iteration times (us): %s\n",
                 analysis::latencySummary(r.iteration_us).c_str());
+    printDatapathStats(*cluster);
     if (!plan.empty()) {
         printFaultOutcome(*cluster);
     }
