@@ -172,5 +172,19 @@ latencySummary(const SampleSet &s)
         s.percentile(99), s.percentile(99.9), s.max(), s.mean());
 }
 
+std::string
+latencySummary(const LatencyStat &s)
+{
+    if (s.mode() == LatencyStat::Mode::Raw) {
+        return latencySummary(static_cast<const SampleSet &>(s));
+    }
+    return strprintf(
+        "n=%zu p50=%.0f p90=%.0f p95=%.0f p99=%.0f p99.9=%.0f max=%.0f "
+        "mean=%.0f (us, sketched, rel err %.1f%%)",
+        s.count(), s.percentile(50), s.percentile(90), s.percentile(95),
+        s.percentile(99), s.percentile(99.9), s.max(), s.mean(),
+        100.0 * s.sketch().relativeError());
+}
+
 } // namespace analysis
 } // namespace diablo

@@ -65,6 +65,13 @@ void asciiPlot(const std::string &title, const std::vector<Series> &series,
 /** Standard percentile summary line for a latency sample set. */
 std::string latencySummary(const SampleSet &s);
 
+/**
+ * Same summary line for a LatencyStat in either mode: raw stats print
+ * exact percentiles, sketched stats print the sketch's quantized
+ * percentiles plus the configured relative-error bound.
+ */
+std::string latencySummary(const LatencyStat &s);
+
 } // namespace analysis
 } // namespace diablo
 

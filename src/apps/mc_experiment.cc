@@ -66,11 +66,63 @@ McExperiment::run(bool parallel)
     for (net::NodeId s : server_nodes_) {
         is_server[s] = true;
     }
-    for (uint32_t n = 0; n < total; ++n) {
-        if (is_server[n]) {
-            continue;
+
+    // Pick client nodes: every non-server node (the paper's harness),
+    // or — when num_clients caps the set — the same round-robin rack
+    // spread the servers use, skipping server slots.  Node order is
+    // preserved either way so the result fold below is deterministic.
+    std::vector<net::NodeId> client_nodes;
+    if (params_.num_clients == 0) {
+        client_nodes.reserve(total - server_nodes_.size());
+        for (uint32_t n = 0; n < total; ++n) {
+            if (!is_server[n]) {
+                client_nodes.push_back(n);
+            }
         }
+    } else {
+        if (params_.num_clients > total - server_nodes_.size()) {
+            fatal("McExperiment: %u clients need %zu non-server nodes, "
+                  "cluster has %zu",
+                  params_.num_clients,
+                  static_cast<size_t>(params_.num_clients),
+                  total - server_nodes_.size());
+        }
+        const uint32_t spr = params_.cluster.topo.servers_per_rack;
+        const uint32_t racks = total / spr;
+        client_nodes.reserve(params_.num_clients);
+        for (uint32_t i = 0; client_nodes.size() < params_.num_clients;
+             ++i) {
+            const uint32_t rack = i % racks;
+            const uint32_t idx = i / racks;
+            if (idx >= spr) {
+                fatal("McExperiment: too many clients per rack");
+            }
+            const net::NodeId n = rack * spr + idx;
+            if (!is_server[n]) {
+                client_nodes.push_back(n);
+            }
+        }
+        std::sort(client_nodes.begin(), client_nodes.end());
+    }
+
+    if (params_.sketch_stats) {
+        for (LatencyStat *ls :
+             {&result_.latency_us, &result_.first_request_us,
+              &result_.latency_us_by_hop[0],
+              &result_.latency_us_by_hop[1],
+              &result_.latency_us_by_hop[2]}) {
+            ls->enableSketch();
+        }
+    }
+    for (net::NodeId n : client_nodes) {
         auto stats = std::make_shared<McClientStats>();
+        if (params_.sketch_stats) {
+            stats->latency_us.enableSketch();
+            stats->first_request_us.enableSketch();
+            for (int h = 0; h < 3; ++h) {
+                stats->latency_us_by_hop[h].enableSketch();
+            }
+        }
         client_stats_.push_back(stats);
         installMemcachedClient(*cluster_, n, server_nodes_,
                                params_.client, stats);

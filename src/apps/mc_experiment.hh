@@ -25,15 +25,32 @@ namespace apps {
 struct McExperimentParams {
     sim::ClusterParams cluster = sim::ClusterParams::gige1us();
     uint32_t num_servers = 128;
+    /**
+     * Client count: 0 (the default) installs a client on every
+     * non-server node — the paper's harness.  A non-zero value caps
+     * the active clients, spread round-robin across racks just like
+     * the servers; remaining nodes stay idle (and, on a lazy cluster,
+     * unmaterialized — this is what lets a 32,000-node array run in
+     * paper-scale memory with a representative traffic subset).
+     */
+    uint32_t num_clients = 0;
+    /**
+     * Record client latencies into fixed-memory quantile sketches
+     * instead of raw SampleSets (LatencyStat::enableSketch on every
+     * client stat and on the aggregated result).  Percentiles then
+     * carry the sketch's ~1.6% relative error; raw() and cdf() become
+     * unavailable on the results.
+     */
+    bool sketch_stats = false;
     McServerParams server;
     McClientParams client;
 };
 
 /** Aggregated measurements across all clients. */
 struct McExperimentResult {
-    SampleSet latency_us;
-    SampleSet latency_us_by_hop[3];
-    SampleSet first_request_us;
+    LatencyStat latency_us;
+    LatencyStat latency_us_by_hop[3];
+    LatencyStat first_request_us;
     uint64_t udp_timeouts = 0;
     uint64_t udp_retries = 0;
     uint64_t requests_completed = 0;

@@ -98,14 +98,18 @@ struct McClientParams {
     EtcWorkloadParams workload;
 };
 
-/** Per-client measurements (aggregate across clients in the harness). */
+/** Per-client measurements (aggregate across clients in the harness).
+ *  The latency fields are LatencyStats: raw SampleSets by default, or
+ *  fixed-memory quantile sketches after enableSketch() — the harness
+ *  switches every client at paper scale so folding 32k clients stays
+ *  O(clients * bins) instead of O(total samples * log). */
 struct McClientStats {
     bool done = false;
-    SampleSet latency_us;                ///< all requests
-    SampleSet latency_us_by_hop[3];      ///< Local / OneHop / TwoHop
+    LatencyStat latency_us;              ///< all requests
+    LatencyStat latency_us_by_hop[3];    ///< Local / OneHop / TwoHop
     /** First request on each lazily-opened TCP connection: the requests
      *  whose latency contains the server's accept/accept4 path. */
-    SampleSet first_request_us;
+    LatencyStat first_request_us;
     uint64_t udp_timeouts = 0;           ///< requests lost after retries
     uint64_t udp_retries = 0;
     uint64_t requests_completed = 0;

@@ -1,0 +1,121 @@
+#ifndef DIABLO_CORE_ARENA_HH_
+#define DIABLO_CORE_ARENA_HH_
+
+/**
+ * @file
+ * Slab arena for lazily materialized, never-individually-freed model
+ * state (per-partition server nodes).
+ *
+ * A chunked bump allocator: objects are placed contiguously into
+ * geometrically growing slabs, addresses are stable for the arena's
+ * lifetime (slabs never move or resize), and nothing is freed until the
+ * arena dies — matching the cluster's lifetime model, where a server,
+ * once materialized, exists until teardown.  The first slab is small
+ * (kFirstSlabBytes), so a partition that materializes one node costs a
+ * few KB, while a fully active rack converges to large contiguous
+ * slabs.  The arena keeps a byte ledger (used/reserved/objects) for the
+ * per-partition memory reports the scale benchmarks assert on.
+ *
+ * Not thread-safe by design: each arena belongs to one simulation
+ * partition and is only touched by that partition's events (or by the
+ * main thread outside a run), exactly like every other partition-local
+ * structure in the engine.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "core/log.hh"
+
+namespace diablo {
+
+/** Chunked bump allocator with stable addresses and a byte ledger. */
+class SlabArena {
+  public:
+    static constexpr size_t kFirstSlabBytes = 4096;
+    static constexpr size_t kMaxSlabBytes = 256 * 1024;
+
+    SlabArena() = default;
+
+    SlabArena(SlabArena &&) = default;
+    SlabArena &operator=(SlabArena &&) = default;
+    SlabArena(const SlabArena &) = delete;
+    SlabArena &operator=(const SlabArena &) = delete;
+
+    /** Raw storage for one object; never individually freed. */
+    void *
+    allocate(size_t bytes, size_t align)
+    {
+        if (bytes == 0 || (align & (align - 1)) != 0) {
+            fatal("SlabArena: bad allocation (%zu bytes, align %zu)",
+                  bytes, align);
+        }
+        if (!slabs_.empty()) {
+            if (void *p = tryBump(slabs_.back(), bytes, align)) {
+                ++objects_;
+                return p;
+            }
+        }
+        size_t want = next_slab_bytes_;
+        while (want < bytes + align) {
+            want *= 2;
+        }
+        Slab s;
+        s.mem = std::make_unique<unsigned char[]>(want);
+        s.cap = want;
+        slabs_.push_back(std::move(s));
+        reserved_ += want;
+        next_slab_bytes_ = std::min(want * 2, kMaxSlabBytes);
+        void *p = tryBump(slabs_.back(), bytes, align);
+        ++objects_;
+        return p;
+    }
+
+    /** Construct a T in the arena; caller owns the dtor call. */
+    template <typename T, typename... Args>
+    T *
+    make(Args &&...args)
+    {
+        void *p = allocate(sizeof(T), alignof(T));
+        return new (p) T(std::forward<Args>(args)...);
+    }
+
+    uint64_t bytesUsed() const { return used_; }
+    uint64_t bytesReserved() const { return reserved_; }
+    uint64_t objects() const { return objects_; }
+
+  private:
+    struct Slab {
+        std::unique_ptr<unsigned char[]> mem;
+        size_t cap = 0;
+        size_t off = 0;
+    };
+
+    void *
+    tryBump(Slab &s, size_t bytes, size_t align)
+    {
+        const uintptr_t base = reinterpret_cast<uintptr_t>(s.mem.get());
+        const uintptr_t at = (base + s.off + align - 1) & ~(align - 1);
+        const size_t new_off = (at - base) + bytes;
+        if (new_off > s.cap) {
+            return nullptr;
+        }
+        used_ += new_off - s.off;
+        s.off = new_off;
+        return reinterpret_cast<void *>(at);
+    }
+
+    std::vector<Slab> slabs_;
+    size_t next_slab_bytes_ = kFirstSlabBytes;
+    uint64_t used_ = 0;
+    uint64_t reserved_ = 0;
+    uint64_t objects_ = 0;
+};
+
+} // namespace diablo
+
+#endif // DIABLO_CORE_ARENA_HH_

@@ -1,6 +1,7 @@
 #include "fame/partition.hh"
 
 #include <algorithm>
+#include <map>
 
 #include "core/log.hh"
 
@@ -45,6 +46,7 @@ PartitionSet::PartitionSet(size_t n)
     }
     last_run_executed_.assign(n, 0);
     weights_.assign(n, 1.0);
+    groups_.assign(n, -1);
     // A valid 1-worker fusion exists from birth, so Channel::post finds
     // a dirty list even before the first run sets up its own fusion.
     worker_of_.assign(n, 0);
@@ -178,6 +180,15 @@ PartitionSet::setPartitionWeight(size_t i, double w)
 }
 
 void
+PartitionSet::setPartitionGroup(size_t i, int64_t group)
+{
+    if (i >= parts_.size()) {
+        fatal("PartitionSet: setPartitionGroup(%zu): out of range", i);
+    }
+    groups_[i] = group;
+}
+
+void
 PartitionSet::assignPartitions(size_t workers)
 {
     worker_parts_.resize(workers);
@@ -196,28 +207,92 @@ PartitionSet::assignPartitions(size_t workers)
         return;
     }
 
-    // Deterministic LPT greedy: heaviest partitions first, each onto
-    // the least-loaded worker (ties: lowest worker id).  Results never
-    // depend on the assignment — only wall-clock balance does.
-    std::vector<size_t> order(parts_.size());
+    // Deterministic two-level LPT greedy.  Level 1 works on locality
+    // groups (setPartitionGroup; ungrouped partitions are singletons):
+    // heaviest group first, onto the least-loaded worker (ties: lowest
+    // worker id) — *if* placing the whole group there would not push
+    // that worker past 1.25x the ideal per-worker share.  A group too
+    // heavy to keep together spills to level 2, where its partitions
+    // are placed individually by plain LPT.  With many more groups
+    // than workers this preserves rack->array locality; with few heavy
+    // groups it degenerates to the old partition-level balance.
+    // Results never depend on the assignment — only wall-clock does.
+    double total = 0.0;
     for (size_t p = 0; p < parts_.size(); ++p) {
-        order[p] = p;
+        total += weights_[p];
     }
-    std::stable_sort(order.begin(), order.end(),
-                     [this](size_t a, size_t b) {
-                         return weights_[a] > weights_[b];
+    const double ideal = total / static_cast<double>(workers);
+    const double cap = ideal * 1.25;
+
+    // Collect groups in first-appearance order (deterministic).
+    std::vector<std::vector<size_t>> group_parts;
+    std::vector<double> group_weight;
+    {
+        std::map<int64_t, size_t> seen;
+        for (size_t p = 0; p < parts_.size(); ++p) {
+            if (groups_[p] < 0) {
+                group_parts.push_back({p});
+                group_weight.push_back(weights_[p]);
+                continue;
+            }
+            auto it = seen.find(groups_[p]);
+            if (it == seen.end()) {
+                seen.emplace(groups_[p], group_parts.size());
+                group_parts.push_back({p});
+                group_weight.push_back(weights_[p]);
+            } else {
+                group_parts[it->second].push_back(p);
+                group_weight[it->second] += weights_[p];
+            }
+        }
+    }
+
+    std::vector<size_t> gorder(group_parts.size());
+    for (size_t g = 0; g < gorder.size(); ++g) {
+        gorder[g] = g;
+    }
+    std::stable_sort(gorder.begin(), gorder.end(),
+                     [&group_weight](size_t a, size_t b) {
+                         return group_weight[a] > group_weight[b];
                      });
+
     std::vector<double> load(workers, 0.0);
-    for (size_t p : order) {
+    auto leastLoaded = [&load, workers]() {
         size_t best = 0;
         for (size_t w = 1; w < workers; ++w) {
             if (load[w] < load[best]) {
                 best = w;
             }
         }
-        load[best] += weights_[p];
-        worker_of_[p] = static_cast<uint32_t>(best);
-        worker_parts_[best].push_back(p);
+        return best;
+    };
+    auto place = [this, &load](size_t p, size_t w) {
+        load[w] += weights_[p];
+        worker_of_[p] = static_cast<uint32_t>(w);
+        worker_parts_[w].push_back(p);
+    };
+
+    std::vector<size_t> spill;
+    for (size_t g : gorder) {
+        const size_t best = leastLoaded();
+        if (group_parts[g].size() > 1 &&
+            load[best] + group_weight[g] > cap) {
+            // Keeping this group together would overload the worker;
+            // remember its partitions for level-2 placement.
+            spill.insert(spill.end(), group_parts[g].begin(),
+                         group_parts[g].end());
+            continue;
+        }
+        for (size_t p : group_parts[g]) {
+            place(p, best);
+        }
+    }
+    std::stable_sort(spill.begin(), spill.end(),
+                     [this](size_t a, size_t b) {
+                         return weights_[a] > weights_[b];
+                     });
+    for (size_t p : spill) {
+        place(p, leastLoaded());
     }
     // Within one worker, keep partition-index order (pure cosmetics —
     // partitions are independent inside a quantum).

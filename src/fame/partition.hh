@@ -216,6 +216,28 @@ class PartitionSet {
     void setPartitionWeight(size_t i, double w);
 
     /**
+     * Locality hint: partitions sharing a non-negative @p group id are
+     * placed on the same worker when that fits — the fusion first runs
+     * LPT over whole groups, then spills a group to partition-level
+     * placement only if keeping it together would overload a worker by
+     * more than 25% of the ideal share.  A sharded cluster groups each
+     * array's rack partitions together (rack -> array -> datacenter
+     * hierarchy), so at 16x more partitions than cores, racks that
+     * exchange intra-array traffic land on one worker and their
+     * channel drains stay cache-warm.  Group -1 (the default) means
+     * ungrouped: the partition is its own singleton group.  Purely a
+     * balance/locality hint; results never depend on it.
+     */
+    void setPartitionGroup(size_t i, int64_t group);
+
+    /**
+     * Worker that partition @p i was fused onto in the most recent
+     * parallel run (0 before any run).  Introspection for balance
+     * tooling and the fusion tests; never affects results.
+     */
+    uint32_t workerOfPartition(size_t i) const { return worker_of_[i]; }
+
+    /**
      * Advance all partitions to @p until on `min(size(), parallelism())`
      * fused workers with spin-then-park barrier synchronization each
      * quantum.  The calling thread participates as worker 0; pool
@@ -405,6 +427,7 @@ class PartitionSet {
     std::vector<std::unique_ptr<Simulator>> parts_;
     std::vector<std::unique_ptr<Channel>> channels_;
     std::vector<double> weights_;
+    std::vector<int64_t> groups_; ///< -1 = ungrouped (singleton)
     SimTime quantum_override_;
     mutable SimTime quantum_cache_;
     mutable bool quantum_cache_valid_ = false;

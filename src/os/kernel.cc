@@ -7,6 +7,16 @@
 namespace diablo {
 namespace os {
 
+// Per-node byte budgets for the paper-scale memory diet: a 32k-node
+// warehouse instantiates one Kernel (and its Socket/connection tables)
+// per *materialized* server, so struct growth multiplies by the active
+// set.  These asserts catch a member addition that silently regresses
+// bytes/node; raise them deliberately, with a BENCH_scale.json rerun.
+static_assert(sizeof(Kernel) <= 1280,
+              "os::Kernel grew past its per-node byte budget");
+static_assert(sizeof(Socket) <= 512,
+              "os::Socket grew past its per-connection byte budget");
+
 namespace {
 
 /** Largest UDP payload per fragment on a standard-MTU Ethernet. */

@@ -300,7 +300,13 @@ class Kernel {
     std::function<net::SourceRoute(net::NodeId)> route_lookup_;
     NicDevice *nic_ = nullptr;
 
-    std::deque<std::unique_ptr<Thread>> threads_;
+    // Bookkeeping containers are vectors of owning pointers: pointees
+    // stay address-stable across growth (coroutines hold Thread*/Socket*
+    // raw pointers), while an *empty* vector — the idle-node common
+    // case at warehouse scale — costs three words instead of a deque's
+    // eagerly allocated chunk map.  Only processes_ below needs element
+    // (not pointee) address stability and remains a deque.
+    std::vector<std::unique_ptr<Thread>> threads_;
     uint64_t next_thread_id_ = 1;
 
     int next_fd_ = 3;
@@ -313,7 +319,7 @@ class Kernel {
                        net::FlowKeyHash> conns_;
 
     /** Connections owned before their socket has an fd (pre-accept). */
-    std::deque<std::unique_ptr<Socket>> embryonic_sockets_;
+    std::vector<std::unique_ptr<Socket>> embryonic_sockets_;
 
     /** Device egress queue; a ring so steady-state cycling of a busy
      *  queue never touches the allocator (deque chunk churn did). */
@@ -351,9 +357,9 @@ class Kernel {
      * these; they stay alive until the kernel is destroyed (which
      * clears processes_ — and with it every frame — first).
      */
-    std::deque<std::unique_ptr<Socket>> dead_sockets_;
-    std::deque<std::unique_ptr<EpollInstance>> dead_epolls_;
-    std::deque<std::unique_ptr<TcpConnection>> dead_conns_;
+    std::vector<std::unique_ptr<Socket>> dead_sockets_;
+    std::vector<std::unique_ptr<EpollInstance>> dead_epolls_;
+    std::vector<std::unique_ptr<TcpConnection>> dead_conns_;
 
     Stats stats_;
 

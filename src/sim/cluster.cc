@@ -68,7 +68,44 @@ ClusterParams::applyConfig(const Config &cfg)
     tcp = os::TcpParams::fromConfig(cfg, "tcp.");
     nic = nic::NicParams::fromConfig(cfg, "nic.");
     seed = cfg.getUint("seed", seed);
+    lazy_servers = cfg.getBool("sim.lazy_servers", lazy_servers);
 }
+
+/**
+ * A materialized server: kernel + NIC + uplink constructed in place in
+ * the rack partition's arena, fully wired by the constructor (the old
+ * eager buildServers() loop, verbatim).  Construction schedules no
+ * events and draws no randomness, so materializing mid-run — from the
+ * ToR's delivery path — cannot perturb simulated behaviour.
+ */
+struct Cluster::ServerState {
+    os::Kernel kernel;
+    nic::NicModel nic;
+    net::Link uplink; ///< NIC -> ToR
+
+    ServerState(Simulator &rsim, net::NodeId node,
+                const ClusterParams &params, topo::ClosNetwork *net)
+        : kernel(rsim, node, params.cpu, params.kernel_profile,
+                 [net, node](net::NodeId dst) {
+                     return net->route(node, dst);
+                 }),
+          nic(rsim, strprintf("nic%u", node), params.nic),
+          uplink(rsim, strprintf("srv%u.up", node), params.topo.host_bw,
+                 params.topo.host_link_prop)
+    {
+        kernel.setTcpParams(params.tcp);
+        nic.attachKernel(kernel);
+        uplink.connectTo(net->serverIngress(node));
+        nic.attachTxLink(uplink);
+        net->attachServerSink(node, nic);
+
+        // The multiplied-by-active-set struct budget (heap growth
+        // behind these members is bounded separately: rings are sized
+        // by NicParams, OS bookkeeping by the kernel.cc asserts).
+        static_assert(sizeof(ServerState) <= 2048,
+                      "ServerState grew past its per-node byte budget");
+    }
+};
 
 size_t
 Cluster::partitionsRequired(const ClusterParams &params)
@@ -136,8 +173,15 @@ Cluster::Cluster(fame::PartitionSet &ps, const ClusterParams &params)
     // switch partition carries the aggregation levels, whose
     // forwarding load scales with total trunk fan-in.  Pure wall-clock
     // hints — results are identical for any placement.
+    // Locality hint mirroring the paper's rack -> array -> datacenter
+    // hierarchy: racks of one array exchange most of their traffic
+    // through that array's switches, so group them onto one worker
+    // when the balance allows (setPartitionGroup spills oversized
+    // groups automatically).  The switch partition stays ungrouped.
     for (uint32_t r = 0; r < racks; ++r) {
         ps.setPartitionWeight(r, params_.topo.servers_per_rack + 1.0);
+        ps.setPartitionGroup(
+            r, static_cast<int64_t>(r / params_.topo.racks_per_array));
     }
     if (racks > 1) {
         ps.setPartitionWeight(
@@ -166,43 +210,126 @@ void
 Cluster::buildServers()
 {
     const uint32_t n = network_->totalServers();
-    servers_.resize(n);
+    nodes_.assign(n, nullptr);
 
-    for (uint32_t node = 0; node < n; ++node) {
-        ServerNode &s = servers_[node];
-        // Every per-server model element lives in the server's rack
-        // partition; its NIC uplink terminates at the ToR, which is in
-        // the same partition, so the uplink is an ordinary Link.
-        Simulator &rsim =
-            simForRack(node / params_.topo.servers_per_rack);
-        topo::ClosNetwork *net = network_.get();
-        s.kernel = std::make_unique<os::Kernel>(
-            rsim, node, params_.cpu, params_.kernel_profile,
-            [net, node](net::NodeId dst) { return net->route(node, dst); });
-        s.kernel->setTcpParams(params_.tcp);
+    // One arena per rack partition so parallel-run materializations
+    // bump-allocate without synchronization; a non-sharded cluster runs
+    // single-threaded and shares one arena.
+    const size_t num_arenas = ps_ != nullptr ? numRacks() : 1;
+    arenas_.resize(num_arenas);
+    arena_nodes_.resize(num_arenas);
 
-        s.nic = std::make_unique<nic::NicModel>(
-            rsim, strprintf("nic%u", node), params_.nic);
-        s.nic->attachKernel(*s.kernel);
+    // Second materialization trigger: the first packet the fabric tries
+    // to deliver to an unattached ToR server port.  The hook runs inside
+    // the delivering event on the rack's own partition, before any
+    // forwarding state is touched, so the packet lands on a fully wired
+    // NIC and the simulated outcome matches the eager build exactly.
+    network_->setServerAttachHook(
+        [this](net::NodeId node) { ensureServer(node); });
 
-        s.uplink = std::make_unique<net::Link>(
-            rsim, strprintf("srv%u.up", node), params_.topo.host_bw,
-            params_.topo.host_link_prop);
-        s.uplink->connectTo(network_->serverIngress(node));
-        s.nic->attachTxLink(*s.uplink);
-
-        network_->attachServerSink(node, *s.nic);
+    if (!params_.lazy_servers) {
+        for (uint32_t node = 0; node < n; ++node) {
+            ensureServer(node);
+        }
     }
 }
 
-Cluster::~Cluster() = default;
+Cluster::ServerState &
+Cluster::ensureServer(net::NodeId node)
+{
+    if (node >= nodes_.size()) {
+        fatal("Cluster: node %u out of range (cluster has %zu servers)",
+              node, nodes_.size());
+    }
+    ServerState *s = nodes_[node];
+    return s != nullptr ? *s : *materialize(node);
+}
+
+Cluster::ServerState *
+Cluster::materialize(net::NodeId node)
+{
+    // Every per-server model element lives in the server's rack
+    // partition; its NIC uplink terminates at the ToR, which is in the
+    // same partition, so the uplink is an ordinary Link.  The arena,
+    // the nodes_ slot, and the per-arena order log are all owned by
+    // that same partition, so mid-run materializations from two racks
+    // never share state.
+    const uint32_t rack = node / params_.topo.servers_per_rack;
+    const size_t arena = arenas_.size() == 1 ? 0 : rack;
+    ServerState *s = arenas_[arena].make<ServerState>(
+        simForRack(rack), node, params_, network_.get());
+    nodes_[node] = s;
+    arena_nodes_[arena].push_back(node);
+    return s;
+}
+
+Cluster::~Cluster()
+{
+    // Arena memory is bump-allocated: the arena frees the slabs but
+    // never runs destructors, so tear nodes down explicitly — within
+    // each arena in reverse materialization order — while the network
+    // they detach from is still alive.
+    for (size_t a = arena_nodes_.size(); a-- > 0;) {
+        std::vector<net::NodeId> &order = arena_nodes_[a];
+        for (size_t i = order.size(); i-- > 0;) {
+            nodes_[order[i]]->~ServerState();
+            nodes_[order[i]] = nullptr;
+        }
+    }
+}
+
+os::Kernel &
+Cluster::kernel(net::NodeId node)
+{
+    return ensureServer(node).kernel;
+}
+
+nic::NicModel &
+Cluster::nic(net::NodeId node)
+{
+    return ensureServer(node).nic;
+}
+
+net::Link &
+Cluster::uplink(net::NodeId node)
+{
+    return ensureServer(node).uplink;
+}
+
+size_t
+Cluster::materializedServers() const
+{
+    size_t n = 0;
+    for (const SlabArena &a : arenas_) {
+        n += a.objects();
+    }
+    return n;
+}
+
+std::vector<Cluster::ArenaStats>
+Cluster::arenaStats() const
+{
+    std::vector<ArenaStats> out;
+    out.reserve(arenas_.size());
+    for (const SlabArena &a : arenas_) {
+        ArenaStats st;
+        st.nodes = a.objects();
+        st.bytes_used = a.bytesUsed();
+        st.bytes_reserved = a.bytesReserved();
+        out.push_back(st);
+    }
+    return out;
+}
 
 uint64_t
 Cluster::totalTcpRetransmits() const
 {
     uint64_t n = 0;
-    for (const auto &s : servers_) {
-        n += s.kernel->stats().tcp_retransmits;
+    for (const ServerState *s : nodes_) {
+        if (s == nullptr) {
+            continue;
+        }
+        n += s->kernel.stats().tcp_retransmits;
     }
     return n;
 }
@@ -211,8 +338,11 @@ uint64_t
 Cluster::totalTcpRtos() const
 {
     uint64_t n = 0;
-    for (const auto &s : servers_) {
-        n += s.kernel->stats().tcp_rtos;
+    for (const ServerState *s : nodes_) {
+        if (s == nullptr) {
+            continue;
+        }
+        n += s->kernel.stats().tcp_rtos;
     }
     return n;
 }
@@ -221,8 +351,11 @@ uint64_t
 Cluster::totalTcpAborts() const
 {
     uint64_t n = 0;
-    for (const auto &s : servers_) {
-        n += s.kernel->stats().tcp_aborts;
+    for (const ServerState *s : nodes_) {
+        if (s == nullptr) {
+            continue;
+        }
+        n += s->kernel.stats().tcp_aborts;
     }
     return n;
 }
@@ -231,8 +364,11 @@ uint64_t
 Cluster::totalTcpRecovered() const
 {
     uint64_t n = 0;
-    for (const auto &s : servers_) {
-        n += s.kernel->stats().tcp_recovered;
+    for (const ServerState *s : nodes_) {
+        if (s == nullptr) {
+            continue;
+        }
+        n += s->kernel.stats().tcp_recovered;
     }
     return n;
 }
@@ -241,8 +377,11 @@ uint64_t
 Cluster::totalCrashRxDiscards() const
 {
     uint64_t n = 0;
-    for (const auto &s : servers_) {
-        n += s.kernel->stats().crash_rx_discards;
+    for (const ServerState *s : nodes_) {
+        if (s == nullptr) {
+            continue;
+        }
+        n += s->kernel.stats().crash_rx_discards;
     }
     return n;
 }
@@ -251,8 +390,11 @@ uint64_t
 Cluster::totalUdpSocketDrops() const
 {
     uint64_t n = 0;
-    for (const auto &s : servers_) {
-        n += s.kernel->stats().udp_rx_overflow_drops;
+    for (const ServerState *s : nodes_) {
+        if (s == nullptr) {
+            continue;
+        }
+        n += s->kernel.stats().udp_rx_overflow_drops;
     }
     return n;
 }
@@ -261,8 +403,11 @@ uint64_t
 Cluster::totalNicRxDrops() const
 {
     uint64_t n = 0;
-    for (const auto &s : servers_) {
-        n += s.nic->rxRingDrops();
+    for (const ServerState *s : nodes_) {
+        if (s == nullptr) {
+            continue;
+        }
+        n += s->nic.rxRingDrops();
     }
     return n;
 }
@@ -271,8 +416,11 @@ uint64_t
 Cluster::totalNicTxRingDrops() const
 {
     uint64_t n = 0;
-    for (const auto &s : servers_) {
-        n += s.nic->txRingDrops();
+    for (const ServerState *s : nodes_) {
+        if (s == nullptr) {
+            continue;
+        }
+        n += s->nic.txRingDrops();
     }
     return n;
 }
@@ -307,8 +455,11 @@ uint64_t
 Cluster::totalDeliveriesCoalesced() const
 {
     uint64_t n = network_->totalDeliveriesCoalesced();
-    for (const auto &s : servers_) {
-        n += s.uplink->deliveriesCoalesced();
+    for (const ServerState *s : nodes_) {
+        if (s == nullptr) {
+            continue;
+        }
+        n += s->uplink.deliveriesCoalesced();
     }
     return n;
 }
@@ -317,8 +468,11 @@ uint64_t
 Cluster::totalDeliveryTrains() const
 {
     uint64_t n = network_->totalDeliveryTrains();
-    for (const auto &s : servers_) {
-        n += s.uplink->deliveryTrains();
+    for (const ServerState *s : nodes_) {
+        if (s == nullptr) {
+            continue;
+        }
+        n += s->uplink.deliveryTrains();
     }
     return n;
 }

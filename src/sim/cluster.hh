@@ -38,6 +38,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/arena.hh"
 #include "core/config.hh"
 #include "core/random.hh"
 #include "core/simulator.hh"
@@ -57,6 +58,19 @@ struct ClusterParams {
     os::TcpParams tcp;
     nic::NicParams nic;
     uint64_t seed = 20150314;
+
+    /**
+     * Materialize a server's kernel/NIC/uplink lazily — on first app
+     * attach (any kernel()/nic()/uplink() access) or on the first
+     * packet delivered to its ToR port — instead of eagerly for every
+     * node.  An idle warehouse node then costs one table entry instead
+     * of a full TCP stack, which is what lets the paper's 32,000-node
+     * array fit on one host.  Simulated results are identical either
+     * way: materialization constructs state but schedules no events
+     * and draws no randomness.  `sim.lazy_servers=false` restores the
+     * eager build (the memory-diet ablation baseline).
+     */
+    bool lazy_servers = true;
 
     /**
      * The paper's 1 Gbps configuration: 1 us port-to-port switch
@@ -128,11 +142,30 @@ class Cluster {
     }
     const ClusterParams &params() const { return params_; }
 
-    os::Kernel &kernel(net::NodeId node) { return *servers_[node].kernel; }
-    nic::NicModel &nic(net::NodeId node) { return *servers_[node].nic; }
+    /**
+     * Per-server model accessors.  On a lazy cluster these materialize
+     * the node on first touch (the "first app attach" trigger); the
+     * other trigger — first delivered packet — fires from inside the
+     * ToR's forwarding path via the unattached-port hook.
+     */
+    os::Kernel &kernel(net::NodeId node);
+    nic::NicModel &nic(net::NodeId node);
     /** The server's NIC->ToR link (lives in the server's rack partition). */
-    net::Link &uplink(net::NodeId node) { return *servers_[node].uplink; }
+    net::Link &uplink(net::NodeId node);
     topo::ClosNetwork &network() { return *network_; }
+
+    /** Servers whose kernel/NIC/uplink exist (== size() when eager). */
+    size_t materializedServers() const;
+
+    /** One arena's ledger (arenas are per rack partition when sharded). */
+    struct ArenaStats {
+        uint64_t nodes = 0;          ///< materialized servers
+        uint64_t bytes_used = 0;     ///< bump-allocated object bytes
+        uint64_t bytes_reserved = 0; ///< slab bytes owned
+    };
+
+    /** Per-arena node-state ledgers, for the --mem-report tooling. */
+    std::vector<ArenaStats> arenaStats() const;
 
     /** Master random stream; fork per component/app. */
     Rng &rng() { return rng_; }
@@ -173,14 +206,18 @@ class Cluster {
     uint64_t totalDeliveryTrains() const;
 
   private:
-    struct ServerNode {
-        std::unique_ptr<os::Kernel> kernel;
-        std::unique_ptr<nic::NicModel> nic;
-        std::unique_ptr<net::Link> uplink; ///< NIC -> ToR
-    };
+    /**
+     * A materialized server's kernel + NIC + uplink, placed contiguously
+     * in its rack partition's slab arena (definition in cluster.cc).
+     */
+    struct ServerState;
 
-    /** Wire kernels/NICs/uplinks, each on its rack's simulator. */
+    /** Shared ctor tail: node table, arenas, hook, eager fill. */
     void buildServers();
+
+    /** Materialize-if-needed; the only path that creates ServerState. */
+    ServerState &ensureServer(net::NodeId node);
+    ServerState *materialize(net::NodeId node);
 
     Simulator &simForRack(uint32_t rack);
 
@@ -188,7 +225,19 @@ class Cluster {
     fame::PartitionSet *ps_ = nullptr; ///< non-null iff sharded
     ClusterParams params_;
     std::unique_ptr<topo::ClosNetwork> network_;
-    std::vector<ServerNode> servers_;
+
+    /**
+     * Node table: one pointer per server, null until materialized.
+     * Sized at build; slots are only ever written by the owning rack
+     * partition (or the main thread outside a run), so parallel-run
+     * materializations never touch the same slot from two threads.
+     */
+    std::vector<ServerState *> nodes_;
+    /** One arena per rack partition (a single one when not sharded). */
+    std::vector<SlabArena> arenas_;
+    /** Per-arena materialization order, for reverse-order teardown. */
+    std::vector<std::vector<net::NodeId>> arena_nodes_;
+
     Rng rng_;
 };
 

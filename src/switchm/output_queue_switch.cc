@@ -59,7 +59,13 @@ OutputQueueSwitch::handleIngress(net::PacketPtr p)
     }
     Output &o = outputs_[out];
     if (o.link == nullptr) {
-        panic("%s: output port %u has no link", params_.name.c_str(), out);
+        // Same lazy-materialization hook point as VoqSwitch: before
+        // any buffer state is touched.
+        fireUnattachedPortHook(out);
+        if (o.link == nullptr) {
+            panic("%s: output port %u has no link", params_.name.c_str(),
+                  out);
+        }
     }
 
     const uint32_t buf_bytes = eth::frameBufferBytes(p->l3Bytes());

@@ -12,6 +12,8 @@
  */
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 
 #include "net/link.hh"
 #include "net/packet.hh"
@@ -48,6 +50,35 @@ class Switch {
 
     /** Packets dropped at a specific output port. */
     virtual uint64_t dropsAt(uint32_t port) const = 0;
+
+    /**
+     * Hook invoked when a packet heads for an output port that has no
+     * link attached; the hook may attach one (via attachOutLink) before
+     * the packet proceeds — the lazy-materialization path, where a
+     * ToR's server-facing port conjures the server's NIC/link on first
+     * delivery.  If the port is still unattached after the hook, the
+     * switch panics as before (a genuinely miswired route).
+     */
+    using UnattachedPortHook = std::function<void(uint32_t port)>;
+
+    void
+    setUnattachedPortHook(UnattachedPortHook hook)
+    {
+        unattached_hook_ = std::move(hook);
+    }
+
+  protected:
+    /** Give the hook a chance to attach the missing link. */
+    void
+    fireUnattachedPortHook(uint32_t port)
+    {
+        if (unattached_hook_) {
+            unattached_hook_(port);
+        }
+    }
+
+  private:
+    UnattachedPortHook unattached_hook_;
 };
 
 } // namespace switchm

@@ -59,7 +59,14 @@ VoqSwitch::handleIngress(uint32_t in_port, net::PacketPtr p)
     }
     Output &o = outputs_[out];
     if (o.link == nullptr) {
-        panic("%s: output port %u has no link", params_.name.c_str(), out);
+        // Happens before any buffer/queue state is touched, so the
+        // hook may attach the link (lazy server materialization) and
+        // forwarding proceeds as if it had always been there.
+        fireUnattachedPortHook(out);
+        if (o.link == nullptr) {
+            panic("%s: output port %u has no link", params_.name.c_str(),
+                  out);
+        }
     }
 
     // VOQs are input-side: charge the arrival port's partition.

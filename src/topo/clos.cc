@@ -286,6 +286,25 @@ ClosNetwork::attachServerSink(net::NodeId node, net::PacketSink &nic_sink)
 }
 
 void
+ClosNetwork::setServerAttachHook(std::function<void(net::NodeId)> hook)
+{
+    server_attach_hook_ = std::move(hook);
+    const uint32_t S = params_.servers_per_rack;
+    for (uint32_t r = 0; r < numRacks(); ++r) {
+        // Only the first S ToR ports face servers; trunk ports are
+        // wired eagerly at build time, so an unattached one is still a
+        // routing bug and falls through to the switch's panic.
+        rack_switches_[r]->setUnattachedPortHook(
+            [this, r, S](uint32_t port) {
+                if (port < S && server_attach_hook_) {
+                    server_attach_hook_(
+                        static_cast<net::NodeId>(r) * S + port);
+                }
+            });
+    }
+}
+
+void
 ClosNetwork::checkTrunk(uint32_t rack, uint32_t plane) const
 {
     if (!hasArrayLevel()) {

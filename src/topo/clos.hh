@@ -153,6 +153,16 @@ class ClosNetwork {
      */
     void attachServerSink(net::NodeId node, net::PacketSink &nic_sink);
 
+    /**
+     * Install @p hook to be called — from the owning rack's partition,
+     * inside the delivering event — when a packet reaches a ToR's
+     * server-facing port whose sink was never attached.  The hook is
+     * expected to materialize the server and call attachServerSink();
+     * forwarding then proceeds normally.  This is how idle lazy nodes
+     * come to life on first delivered packet.
+     */
+    void setServerAttachHook(std::function<void(net::NodeId)> hook);
+
     /** Static source route from @p src to @p dst. */
     net::SourceRoute route(net::NodeId src, net::NodeId dst) const;
 
@@ -273,6 +283,7 @@ class ClosNetwork {
 
     ClosPartitionHooks hooks_;
     ClosParams params_;
+    std::function<void(net::NodeId)> server_attach_hook_;
 
     std::vector<std::unique_ptr<switchm::Switch>> rack_switches_;
     /** Array switches, indexed [array * planes + plane]. */

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Guard engine and datapath performance invariants in CI.
 
-Two modes:
+Three modes:
 
 sync (default) — reads a google-benchmark JSON file (--benchmark_out)
 containing BM_ClusterIncastSharded rows and checks that the fused
@@ -19,9 +19,21 @@ allocs_per_packet, and throughput must not have fallen more than
 --max-regression (default 20%) below the previous trajectory entry for
 the same benchmark (first runs pass vacuously).
 
+scale (--mode scale) — reads a BENCH_scale.json trajectory written by
+bench/microbench_scale and enforces the paper-scale memory-diet floors
+on the newest entry: the 32k-node run must hold at least
+--min-nodes-per-gb (default 4000, i.e. peak RSS under 8 GB for the
+paper's 32,768-node datacenter), sustain at least --min-events-per-sec
+engine throughput (default 50k — conservative for shared runners), its
+sequential and parallel executions must have been bit-identical
+(seq_par_identical == 1, covering the chained sketch fingerprints), and
+the sketch fold must be at least --min-sketch-speedup (default 10x)
+faster than the raw SampleSet fold at equal sample counts.
+
 Usage:
     bench_guard.py <benchmark.json> [--racks N] [--min-ratio R]
     bench_guard.py BENCH_packet.json --mode packet [--max-regression F]
+    bench_guard.py BENCH_scale.json --mode scale [--min-nodes-per-gb N]
 
 Exit status 0 when the invariants hold, 1 on a regression or missing
 rows.  Timings on shared CI runners are noisy, so the default floors
@@ -100,10 +112,83 @@ def check_packet(path, max_regression):
     return 1 if failed else 0
 
 
+def check_scale(path, min_nodes_per_gb, min_events_per_sec,
+                min_sketch_speedup):
+    """Enforce the paper-scale memory/throughput/determinism floors."""
+    with open(path) as f:
+        data = json.load(f)
+    if not isinstance(data, list) or not data:
+        print(f"bench_guard: {path} is not a non-empty trajectory",
+              file=sys.stderr)
+        return 1
+
+    newest = {b.get("name"): b for b in data[-1].get("benchmarks", [])}
+
+    def find(prefix):
+        for name, bench in newest.items():
+            if name.startswith(prefix):
+                return bench
+        return None
+
+    failed = False
+
+    run = find("BM_Memcached32kUdp")
+    if run is None:
+        print("bench_guard: newest entry has no BM_Memcached32kUdp row",
+              file=sys.stderr)
+        failed = True
+    else:
+        nodes_per_gb = float(run.get("nodes_per_gb", 0))
+        events = items_per_second(run)
+        identical = float(run.get("seq_par_identical", 0))
+        verdict = "OK"
+        if nodes_per_gb < min_nodes_per_gb:
+            verdict = (f"MEMORY-REGRESSION (nodes/GB {nodes_per_gb:.0f} "
+                       f"< floor {min_nodes_per_gb})")
+            failed = True
+        if events < min_events_per_sec:
+            verdict = (f"THROUGHPUT-REGRESSION (events/s {events:.3e} "
+                       f"< floor {min_events_per_sec:.3e})")
+            failed = True
+        if identical != 1.0:
+            verdict = "DETERMINISM-REGRESSION (seq != par)"
+            failed = True
+        print(f"bench_guard: 32k run nodes/GB={nodes_per_gb:.0f} "
+              f"peak_rss_mb={run.get('peak_rss_mb', '?')} "
+              f"events/s={events:.3e} seq_par_identical={identical:g} "
+              f"{verdict}")
+
+    raw = find("BM_SampleSetFoldPercentile")
+    sketch = find("BM_SketchFoldPercentile")
+    if raw is None or sketch is None:
+        print("bench_guard: newest entry is missing the fold benchmarks",
+              file=sys.stderr)
+        failed = True
+    else:
+        raw_ns = float(raw.get("real_ns_per_iter", 0))
+        sketch_ns = float(sketch.get("real_ns_per_iter", 0))
+        if raw.get("total_samples") != sketch.get("total_samples"):
+            print("bench_guard: fold benchmarks ran unequal sample "
+                  "counts", file=sys.stderr)
+            failed = True
+        speedup = raw_ns / sketch_ns if sketch_ns > 0 else 0.0
+        verdict = ("OK" if speedup >= min_sketch_speedup else
+                   f"SKETCH-REGRESSION (speedup {speedup:.1f} < floor "
+                   f"{min_sketch_speedup})")
+        if speedup < min_sketch_speedup:
+            failed = True
+        print(f"bench_guard: stats fold raw={raw_ns / 1e6:.3f}ms "
+              f"sketch={sketch_ns / 1e6:.3f}ms speedup={speedup:.1f}x "
+              f"(floor {min_sketch_speedup}x) {verdict}")
+
+    return 1 if failed else 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("json_file")
-    ap.add_argument("--mode", choices=["sync", "packet"], default="sync",
+    ap.add_argument("--mode", choices=["sync", "packet", "scale"],
+                    default="sync",
                     help="which invariant to check (default sync)")
     ap.add_argument("--racks", type=int, default=4,
                     help="cluster shape to compare (default 4)")
@@ -114,10 +199,24 @@ def main():
                     help="packet mode: max fractional throughput drop "
                          "vs the previous trajectory entry (default "
                          "0.2)")
+    ap.add_argument("--min-nodes-per-gb", type=float, default=4000,
+                    help="scale mode: minimum simulated nodes per GB "
+                         "of peak RSS (default 4000 = 32k nodes in "
+                         "8 GB)")
+    ap.add_argument("--min-events-per-sec", type=float, default=5e4,
+                    help="scale mode: minimum engine event throughput "
+                         "for the 32k run (default 50k)")
+    ap.add_argument("--min-sketch-speedup", type=float, default=10.0,
+                    help="scale mode: minimum sketch-vs-raw fold "
+                         "speedup at equal sample counts (default 10)")
     opts = ap.parse_args()
 
     if opts.mode == "packet":
         return check_packet(opts.json_file, opts.max_regression)
+    if opts.mode == "scale":
+        return check_scale(opts.json_file, opts.min_nodes_per_gb,
+                           opts.min_events_per_sec,
+                           opts.min_sketch_speedup)
 
     with open(opts.json_file) as f:
         data = json.load(f)

@@ -23,7 +23,16 @@
  * sequential reference or the fused parallel engine — all three
  * produce bit-identical simulated results.  --threads <N> caps the
  * parallel engine's worker count (0 = one per hardware thread).
+ *
+ * --mem-report prints the memory-diet ledger after the run: peak RSS,
+ * bytes per simulated node, how many nodes were actually materialized
+ * (sim.lazy_servers=true defers node construction to first use), and
+ * the per-arena slab ledgers.  Paper-scale knobs: mc.clients caps the
+ * active client count (0 = every non-server node), stats.sketch=true
+ * records latencies into fixed-memory quantile sketches.
  */
+
+#include <sys/resource.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -45,6 +54,7 @@ enum class Engine { Single, Seq, Par };
 struct EngineOpts {
     Engine engine = Engine::Single;
     size_t threads = 0; ///< parallel worker cap; 0 = hardware default
+    bool mem_report = false;
 
     bool
     parseEngine(const char *val)
@@ -144,6 +154,54 @@ printDatapathStats(sim::Cluster &cluster)
                     cluster.totalNicTxRingDrops()));
 }
 
+/**
+ * The memory-diet ledger: process peak RSS, bytes per simulated node,
+ * materialization ratio, and the per-arena slab accounting (one arena
+ * per rack partition on a sharded build; empty arenas are summarized).
+ */
+void
+printMemReport(sim::Cluster &cluster)
+{
+    struct rusage ru;
+    std::memset(&ru, 0, sizeof(ru));
+    getrusage(RUSAGE_SELF, &ru);
+    const uint64_t rss = static_cast<uint64_t>(ru.ru_maxrss) * 1024;
+    const uint32_t nodes = cluster.size();
+
+    std::printf("mem: peak_rss=%.1f MB bytes/node=%.0f nodes/GB=%.0f\n",
+                static_cast<double>(rss) / (1024.0 * 1024.0),
+                static_cast<double>(rss) / nodes,
+                static_cast<double>(nodes) /
+                    (static_cast<double>(rss) /
+                     (1024.0 * 1024.0 * 1024.0)));
+    std::printf("mem: materialized=%zu/%u nodes (%s)\n",
+                cluster.materializedServers(), nodes,
+                cluster.params().lazy_servers ? "lazy" : "eager");
+
+    const auto arenas = cluster.arenaStats();
+    uint64_t used = 0, reserved = 0;
+    size_t nonempty = 0;
+    for (size_t i = 0; i < arenas.size(); ++i) {
+        used += arenas[i].bytes_used;
+        reserved += arenas[i].bytes_reserved;
+        if (arenas[i].nodes != 0) {
+            ++nonempty;
+            std::printf("  arena %zu: nodes=%llu used=%llu reserved=%llu\n",
+                        i,
+                        static_cast<unsigned long long>(arenas[i].nodes),
+                        static_cast<unsigned long long>(
+                            arenas[i].bytes_used),
+                        static_cast<unsigned long long>(
+                            arenas[i].bytes_reserved));
+        }
+    }
+    std::printf("mem: arenas=%zu (%zu populated) used=%llu "
+                "reserved=%llu bytes\n",
+                arenas.size(), nonempty,
+                static_cast<unsigned long long>(used),
+                static_cast<unsigned long long>(reserved));
+}
+
 int
 runMemcached(const Config &cfg, const sim::FaultPlan &plan,
              const EngineOpts &eng)
@@ -157,6 +215,8 @@ runMemcached(const Config &cfg, const sim::FaultPlan &plan,
         cfg.getUint("mc.servers",
                     2 * p.cluster.topo.racks_per_array *
                         p.cluster.topo.num_arrays));
+    p.num_clients = static_cast<uint32_t>(cfg.getUint("mc.clients", 0));
+    p.sketch_stats = cfg.getBool("stats.sketch", false);
     p.server.udp = cfg.getBool("mc.udp", true);
     p.server.version = static_cast<int>(cfg.getUint("mc.version", 1417));
     p.server.worker_threads = static_cast<uint32_t>(
@@ -220,6 +280,9 @@ runMemcached(const Config &cfg, const sim::FaultPlan &plan,
                 static_cast<unsigned long long>(
                     exp->cluster().totalTcpRtos()));
     printDatapathStats(exp->cluster());
+    if (eng.mem_report) {
+        printMemReport(exp->cluster());
+    }
     if (!plan.empty()) {
         printFaultOutcome(exp->cluster());
     }
@@ -312,6 +375,9 @@ runIncast(const Config &cfg, const sim::FaultPlan &plan,
     std::printf("iteration times (us): %s\n",
                 analysis::latencySummary(r.iteration_us).c_str());
     printDatapathStats(*cluster);
+    if (eng.mem_report) {
+        printMemReport(*cluster);
+    }
     if (!plan.empty()) {
         printFaultOutcome(*cluster);
     }
@@ -327,7 +393,7 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: %s <memcached|incast> [--fault-plan <file>] "
                      "[--engine <single|seq|par>] [--threads <N>] "
-                     "[key=value ...]\n",
+                     "[--mem-report] [key=value ...]\n",
                      argv[0]);
         return 2;
     }
@@ -368,6 +434,10 @@ main(int argc, char **argv)
         }
         if (const char *v = flagValue("--threads")) {
             eng.threads = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+            continue;
+        }
+        if (std::strcmp(argv[i], "--mem-report") == 0) {
+            eng.mem_report = true;
             continue;
         }
         if (!cfg.parseAssignment(argv[i])) {
