@@ -1,0 +1,234 @@
+#include "analysis/artifact.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "analysis/json_writer.hh"
+#include "core/log.hh"
+
+namespace diablo {
+namespace analysis {
+
+namespace {
+
+uint64_t
+doubleBits(double d)
+{
+    uint64_t u = 0;
+    static_assert(sizeof(u) == sizeof(d));
+    std::memcpy(&u, &d, sizeof(u));
+    return u;
+}
+
+/** FNV-1a over a string, for folding names into the chain. */
+uint64_t
+strHash(const std::string &s)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+        h = (h ^ c) * 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+LatencyDigest
+LatencyDigest::of(const SampleSet &s)
+{
+    LatencyDigest d;
+    d.count = s.count();
+    uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h = (h ^ ((v >> (i * 8)) & 0xff)) * 0x100000001b3ULL;
+        }
+    };
+    mix(d.count);
+    for (double x : s.raw()) {
+        mix(doubleBits(x));
+    }
+    d.fingerprint = h;
+    if (d.count == 0) {
+        return d;
+    }
+    d.mean = s.mean();
+    d.min = s.min();
+    d.max = s.max();
+    d.p50 = s.percentile(50);
+    d.p90 = s.percentile(90);
+    d.p95 = s.percentile(95);
+    d.p99 = s.percentile(99);
+    return d;
+}
+
+LatencyDigest
+LatencyDigest::of(const LatencyStat &s)
+{
+    LatencyDigest d;
+    d.count = s.count();
+    d.sketched = s.sketched();
+    d.fingerprint = s.fingerprint();
+    if (d.count == 0) {
+        return d;
+    }
+    d.mean = s.mean();
+    d.min = s.min();
+    d.max = s.max();
+    d.p50 = s.percentile(50);
+    d.p90 = s.percentile(90);
+    d.p95 = s.percentile(95);
+    d.p99 = s.percentile(99);
+    if (d.sketched) {
+        d.relative_error = s.sketch().relativeError();
+    }
+    return d;
+}
+
+uint64_t
+RunArtifact::fingerprint() const
+{
+    // Chain in declaration order with the same non-commutative mix the
+    // seq≡par tests pin fold order with; any reordering or value change
+    // in a deterministic field changes the digest.
+    uint64_t fp = QuantileSketch::chainFingerprint(0, strHash(workload));
+    fp = QuantileSketch::chainFingerprint(fp, nodes);
+    fp = QuantileSketch::chainFingerprint(fp, doubleBits(elapsed_us));
+    fp = QuantileSketch::chainFingerprint(fp, doubleBits(goodput_mbps));
+    fp = QuantileSketch::chainFingerprint(fp, requests_completed);
+    for (const auto &[name, d] : latencies) {
+        fp = QuantileSketch::chainFingerprint(fp, strHash(name));
+        fp = QuantileSketch::chainFingerprint(fp, d.fingerprint);
+    }
+    for (const CounterGroup &g : groups) {
+        if (!g.deterministic) {
+            continue;
+        }
+        fp = QuantileSketch::chainFingerprint(fp, strHash(g.name));
+        for (const auto &[name, v] : g.counters) {
+            fp = QuantileSketch::chainFingerprint(fp, strHash(name));
+            fp = QuantileSketch::chainFingerprint(fp, v);
+        }
+    }
+    // Pool makes/returns are event-driven and engine-independent; the
+    // recycle/heap split and high water are wall-clock artifacts, and
+    // per-partition event counts differ single-vs-sharded — excluded.
+    for (const PartitionRow &p : partition_rows) {
+        fp = QuantileSketch::chainFingerprint(fp, p.pool_makes);
+        fp = QuantileSketch::chainFingerprint(fp, p.pool_returns);
+    }
+    return fp;
+}
+
+std::string
+RunArtifact::toJson() const
+{
+    JsonWriter w(/*pretty=*/true);
+    w.beginObject();
+    w.field("schema", kSchemaVersion);
+    w.field("workload", workload);
+    w.beginObject("engine");
+    w.field("name", engine);
+    w.field("threads_requested", threads_requested);
+    w.field("partitions", partitions);
+    w.field("workers", workers);
+    w.field("executed_events", executed_events);
+    w.field("quanta", quanta);
+    w.endObject();
+
+    w.beginObject("results");
+    w.field("nodes", nodes);
+    w.field("elapsed_us", elapsed_us);
+    w.field("goodput_mbps", goodput_mbps);
+    w.field("requests_completed", requests_completed);
+    w.endObject();
+
+    w.beginObject("latencies");
+    for (const auto &[name, d] : latencies) {
+        w.beginObject(name);
+        w.field("count", d.count);
+        w.field("mean_us", d.mean);
+        w.field("min_us", d.min);
+        w.field("max_us", d.max);
+        w.field("p50_us", d.p50);
+        w.field("p90_us", d.p90);
+        w.field("p95_us", d.p95);
+        w.field("p99_us", d.p99);
+        w.field("sketched", d.sketched);
+        if (d.sketched) {
+            w.field("relative_error", d.relative_error);
+        }
+        w.fieldHex("fingerprint", d.fingerprint);
+        w.endObject();
+    }
+    w.endObject();
+
+    w.beginObject("counters");
+    for (const CounterGroup &g : groups) {
+        w.beginObject(g.name);
+        for (const auto &[name, v] : g.counters) {
+            w.field(name, v);
+        }
+        w.endObject();
+    }
+    w.endObject();
+
+    w.beginArray("partitions");
+    for (const PartitionRow &p : partition_rows) {
+        w.beginObject();
+        w.field("events", p.events);
+        w.field("pool_makes", p.pool_makes);
+        w.field("pool_recycles", p.pool_recycles);
+        w.field("pool_heap_allocs", p.pool_heap_allocs);
+        w.field("pool_returns", p.pool_returns);
+        w.field("pool_high_water", p.pool_high_water);
+        w.endObject();
+    }
+    w.endArray();
+
+    if (has_mem) {
+        w.beginObject("mem");
+        w.field("peak_rss_mb", peak_rss_mb);
+        w.field("materialized_nodes", materialized_nodes);
+        w.field("lazy_servers", lazy_servers);
+        w.field("arena_bytes_used", arena_bytes_used);
+        w.field("arena_bytes_reserved", arena_bytes_reserved);
+        w.endObject();
+    }
+
+    if (!telemetry_path.empty()) {
+        w.beginObject("telemetry");
+        w.field("path", telemetry_path);
+        w.field("period_us", telemetry_period_us);
+        w.field("samples", telemetry_samples);
+        w.endObject();
+    }
+
+    w.fieldHex("fingerprint", fingerprint());
+
+    w.beginObject("config");
+    for (const std::string &k : config.keys()) {
+        w.field(k, config.getString(k, ""));
+    }
+    w.endObject();
+
+    w.endObject();
+    return w.str();
+}
+
+void
+RunArtifact::writeJson(const std::string &path) const
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        fatal("RunArtifact: cannot open '%s' for writing", path.c_str());
+    }
+    const std::string s = toJson();
+    if (std::fwrite(s.data(), 1, s.size(), f) != s.size() ||
+        std::fputc('\n', f) == EOF || std::fclose(f) != 0) {
+        fatal("RunArtifact: short write to '%s'", path.c_str());
+    }
+}
+
+} // namespace analysis
+} // namespace diablo

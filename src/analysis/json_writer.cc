@@ -1,0 +1,303 @@
+#include "analysis/json_writer.hh"
+
+#include <cstdio>
+#include <cinttypes>
+
+#include "core/log.hh"
+
+namespace diablo {
+namespace analysis {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::indent()
+{
+    if (!pretty_) {
+        return;
+    }
+    out_ += '\n';
+    out_.append(stack_.size() * 2, ' ');
+}
+
+void
+JsonWriter::beforeValue(bool keyed)
+{
+    if (stack_.empty()) {
+        if (root_written_) {
+            fatal("JsonWriter: second root value");
+        }
+        if (keyed) {
+            fatal("JsonWriter: key outside any object");
+        }
+        root_written_ = true;
+        return;
+    }
+    const bool in_object = stack_.back() == 'o';
+    if (in_object != keyed) {
+        fatal("JsonWriter: %s", in_object
+                                    ? "bare value inside an object"
+                                    : "keyed value inside an array");
+    }
+    if (!first_in_ctx_) {
+        out_ += ',';
+    }
+    first_in_ctx_ = false;
+    indent();
+}
+
+void
+JsonWriter::key(const std::string &k)
+{
+    beforeValue(true);
+    out_ += '"';
+    out_ += jsonEscape(k);
+    out_ += pretty_ ? "\": " : "\":";
+}
+
+void
+JsonWriter::open(Ctx c, char ch)
+{
+    out_ += ch;
+    stack_ += c == Ctx::Object ? 'o' : 'a';
+    first_in_ctx_ = true;
+}
+
+void
+JsonWriter::close(Ctx c, char ch)
+{
+    const char want = c == Ctx::Object ? 'o' : 'a';
+    if (stack_.empty() || stack_.back() != want) {
+        fatal("JsonWriter: mismatched close of %s",
+              c == Ctx::Object ? "object" : "array");
+    }
+    const bool was_empty = first_in_ctx_;
+    stack_.pop_back();
+    if (!was_empty) {
+        indent();
+    }
+    out_ += ch;
+    first_in_ctx_ = false;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue(false);
+    open(Ctx::Object, '{');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject(const std::string &k)
+{
+    key(k);
+    open(Ctx::Object, '{');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    close(Ctx::Object, '}');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue(false);
+    open(Ctx::Array, '[');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray(const std::string &k)
+{
+    key(k);
+    open(Ctx::Array, '[');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    close(Ctx::Array, ']');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &k, const std::string &v)
+{
+    key(k);
+    out_ += '"';
+    out_ += jsonEscape(v);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &k, const char *v)
+{
+    return field(k, std::string(v));
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &k, int64_t v)
+{
+    key(k);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &k, uint64_t v)
+{
+    key(k);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &k, int v)
+{
+    return field(k, static_cast<int64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &k, unsigned v)
+{
+    return field(k, static_cast<uint64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &k, double v)
+{
+    key(k);
+    char buf[64];
+    // %.17g round-trips any finite double; JSON has no inf/nan, so
+    // clamp those to null rather than emit an invalid token.
+    if (v != v || v == 1.0 / 0.0 || v == -1.0 / 0.0) {
+        out_ += "null";
+        return *this;
+    }
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &k, bool v)
+{
+    key(k);
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::fieldHex(const std::string &k, uint64_t v)
+{
+    key(k);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "\"0x%016" PRIx64 "\"", v);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    beforeValue(false);
+    out_ += '"';
+    out_ += jsonEscape(v);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t v)
+{
+    beforeValue(false);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    beforeValue(false);
+    if (v != v || v == 1.0 / 0.0 || v == -1.0 / 0.0) {
+        out_ += "null";
+        return *this;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ += buf;
+    return *this;
+}
+
+const std::string &
+JsonWriter::str() const
+{
+    if (!stack_.empty()) {
+        fatal("JsonWriter: str() with %zu container(s) still open",
+              stack_.size());
+    }
+    return out_;
+}
+
+void
+JsonWriter::writeFile(const std::string &path) const
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        fatal("JsonWriter: cannot open '%s' for writing", path.c_str());
+    }
+    const std::string &s = str();
+    if (std::fwrite(s.data(), 1, s.size(), f) != s.size() ||
+        std::fputc('\n', f) == EOF || std::fclose(f) != 0) {
+        fatal("JsonWriter: short write to '%s'", path.c_str());
+    }
+}
+
+} // namespace analysis
+} // namespace diablo

@@ -1,0 +1,93 @@
+#ifndef DIABLO_ANALYSIS_JSON_WRITER_HH_
+#define DIABLO_ANALYSIS_JSON_WRITER_HH_
+
+/**
+ * @file
+ * Minimal streaming JSON emitter for machine-readable run artifacts.
+ *
+ * The experiment tools (diablo_run --json, diablo_sweep, the telemetry
+ * probe's JSONL stream) all emit JSON through this one writer so the
+ * escaping, number formatting and nesting bookkeeping live in exactly
+ * one place.  The writer is strictly streaming — values are formatted
+ * into a growing string, nothing is buffered per node — which is what
+ * lets the 32k-node artifact path stay allocation-light.
+ *
+ * Shape errors (closing an object that is not open, a bare value where
+ * a key is required) are programming errors in the emitting tool and
+ * fatal immediately, so a malformed artifact can never be written.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace diablo {
+namespace analysis {
+
+/** Escape @p s for inclusion in a JSON string literal (no quotes). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Nesting-aware JSON builder.  Keys are only legal inside objects,
+ * bare values only inside arrays (or as the single root value), and
+ * str() is only legal once every container is closed.
+ */
+class JsonWriter {
+  public:
+    /** @p pretty adds newlines + two-space indentation. */
+    explicit JsonWriter(bool pretty = true) : pretty_(pretty) {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Open a named child container (inside an object). */
+    JsonWriter &beginObject(const std::string &key);
+    JsonWriter &beginArray(const std::string &key);
+
+    JsonWriter &field(const std::string &key, const std::string &v);
+    JsonWriter &field(const std::string &key, const char *v);
+    JsonWriter &field(const std::string &key, int64_t v);
+    JsonWriter &field(const std::string &key, uint64_t v);
+    JsonWriter &field(const std::string &key, int v);
+    JsonWriter &field(const std::string &key, unsigned v);
+    JsonWriter &field(const std::string &key, double v);
+    JsonWriter &field(const std::string &key, bool v);
+    /** Emit a uint64 as a fixed-width hex string ("0x%016llx"):
+     *  fingerprints round-trip textually without 53-bit JSON-number
+     *  precision loss. */
+    JsonWriter &fieldHex(const std::string &key, uint64_t v);
+
+    /** Array elements. */
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(uint64_t v);
+    JsonWriter &value(double v);
+
+    /** Finished document; fatal while a container is still open. */
+    const std::string &str() const;
+
+    /** Write str() (plus a trailing newline) to @p path; fatal on I/O
+     *  failure. */
+    void writeFile(const std::string &path) const;
+
+  private:
+    enum class Ctx : uint8_t { Object, Array };
+
+    void beforeValue(bool keyed);
+    void key(const std::string &k);
+    void indent();
+    void open(Ctx c, char ch);
+    void close(Ctx c, char ch);
+
+    std::string out_;
+    /** Open-container stack (small; depth is bounded by the schema). */
+    std::string stack_;        ///< 'o' / 'a' per open container
+    bool first_in_ctx_ = true; ///< no comma before the next value
+    bool root_written_ = false;
+    bool pretty_;
+};
+
+} // namespace analysis
+} // namespace diablo
+
+#endif // DIABLO_ANALYSIS_JSON_WRITER_HH_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/log.hh"
+#include "sim/telemetry.hh"
 
 namespace diablo {
 namespace apps {
@@ -49,6 +50,24 @@ McExperiment::placeServers()
 }
 
 McExperiment::~McExperiment() = default;
+
+McExperiment::LiveStats
+McExperiment::liveStats() const
+{
+    LiveStats ls;
+    LatencyStat acc;
+    if (params_.sketch_stats) {
+        acc.enableSketch();
+    }
+    for (const auto &s : client_stats_) {
+        ls.requests_completed += s->requests_completed;
+        acc.merge(s->latency_us);
+    }
+    if (acc.count() != 0) {
+        ls.p99_us = acc.percentile(99);
+    }
+    return ls;
+}
 
 void
 McExperiment::run(bool parallel)
@@ -138,6 +157,11 @@ McExperiment::run(bool parallel)
     };
     // Servers and daemons run forever; stop once every client finished.
     if (ps_ == nullptr) {
+        if (probe_ != nullptr) {
+            // No done predicate: this loop stops on its own, and any
+            // pending probe event is simply never executed.
+            probe_->installPeriodic();
+        }
         const SimTime start = sim_->now();
         while (!all_done()) {
             if (sim_->idle()) {
@@ -163,10 +187,17 @@ McExperiment::run(bool parallel)
                       "simulated time", kCap.str().c_str());
             }
             until = until + kWindow;
-            if (parallel) {
-                ps_->runParallel(until);
+            auto step = [&](SimTime t) {
+                if (parallel) {
+                    ps_->runParallel(t);
+                } else {
+                    ps_->runSequential(t);
+                }
+            };
+            if (probe_ != nullptr) {
+                probe_->driveTo(until, step);
             } else {
-                ps_->runSequential(until);
+                step(until);
             }
             const uint64_t events = ps_->totalExecutedEvents();
             if (events == last_events && !all_done()) {

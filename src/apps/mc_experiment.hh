@@ -19,6 +19,9 @@
 #include "sim/cluster.hh"
 
 namespace diablo {
+namespace sim {
+class TelemetryProbe;
+} // namespace sim
 namespace apps {
 
 /** Full experiment description. */
@@ -90,12 +93,35 @@ class McExperiment {
         return server_nodes_;
     }
 
+    /**
+     * Live fold of per-client progress, for in-run telemetry probes:
+     * requests completed so far plus the p99-so-far over every
+     * client's latency stat.  Only read between engine windows (or
+     * from an event on the single engine), where no worker is running.
+     */
+    struct LiveStats {
+        uint64_t requests_completed = 0;
+        double p99_us = 0.0;
+    };
+    LiveStats liveStats() const;
+
+    /**
+     * Attach an in-run telemetry probe (must outlive run()): a
+     * single-engine run installs its periodic sampling event; a
+     * windowed (sharded) run stops at each sample instant inside the
+     * unchanged outer windows.  Either way the simulated results and
+     * the window-quantized elapsed time are bit-identical with the
+     * probe attached or not.
+     */
+    void attachTelemetry(sim::TelemetryProbe *probe) { probe_ = probe; }
+
   private:
     /** Pick the experiment's server nodes (shared ctor tail). */
     void placeServers();
 
     Simulator *sim_ = nullptr;         ///< non-null iff single-sim
     fame::PartitionSet *ps_ = nullptr; ///< non-null iff sharded
+    sim::TelemetryProbe *probe_ = nullptr; ///< optional, not owned
     McExperimentParams params_;
     std::unique_ptr<sim::Cluster> cluster_;
     std::vector<net::NodeId> server_nodes_;

@@ -1,5 +1,8 @@
 #include "core/config.hh"
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "core/log.hh"
@@ -69,9 +72,14 @@ Config::getInt(const std::string &key, int64_t def) const
         return def;
     }
     char *end = nullptr;
+    errno = 0;
     int64_t v = std::strtoll(it->second.c_str(), &end, 0);
     if (end == it->second.c_str() || *end != '\0') {
         fatal("Config: parameter '%s' = '%s' is not an integer",
+              key.c_str(), it->second.c_str());
+    }
+    if (errno == ERANGE) {
+        fatal("Config: parameter '%s' = '%s' is out of int64 range",
               key.c_str(), it->second.c_str());
     }
     return v;
@@ -84,10 +92,25 @@ Config::getUint(const std::string &key, uint64_t def) const
     if (it == values_.end()) {
         return def;
     }
+    // strtoull silently wraps negative input ("-1" -> 2^64-1); reject
+    // a leading sign before it gets the chance.
+    const char *s = it->second.c_str();
+    while (std::isspace(static_cast<unsigned char>(*s))) {
+        ++s;
+    }
+    if (*s == '-') {
+        fatal("Config: parameter '%s' = '%s' is negative, expected an "
+              "unsigned integer", key.c_str(), it->second.c_str());
+    }
     char *end = nullptr;
-    uint64_t v = std::strtoull(it->second.c_str(), &end, 0);
-    if (end == it->second.c_str() || *end != '\0') {
+    errno = 0;
+    uint64_t v = std::strtoull(s, &end, 0);
+    if (end == s || *end != '\0') {
         fatal("Config: parameter '%s' = '%s' is not an unsigned integer",
+              key.c_str(), it->second.c_str());
+    }
+    if (errno == ERANGE) {
+        fatal("Config: parameter '%s' = '%s' is out of uint64 range",
               key.c_str(), it->second.c_str());
     }
     return v;
@@ -101,9 +124,16 @@ Config::getDouble(const std::string &key, double def) const
         return def;
     }
     char *end = nullptr;
+    errno = 0;
     double v = std::strtod(it->second.c_str(), &end);
     if (end == it->second.c_str() || *end != '\0') {
         fatal("Config: parameter '%s' = '%s' is not a number",
+              key.c_str(), it->second.c_str());
+    }
+    // ERANGE covers both overflow (±HUGE_VAL) and harmless underflow
+    // to a denormal; only the former silently corrupts a parameter.
+    if (errno == ERANGE && std::fabs(v) == HUGE_VAL) {
+        fatal("Config: parameter '%s' = '%s' overflows a double",
               key.c_str(), it->second.c_str());
     }
     return v;

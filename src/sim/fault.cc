@@ -154,6 +154,17 @@ FaultPlan::serverReboot(SimTime at, net::NodeId node)
     return *this;
 }
 
+FaultPlan &
+FaultPlan::merge(const FaultPlan &other, bool take_seed)
+{
+    events_.insert(events_.end(), other.events_.begin(),
+                   other.events_.end());
+    if (take_seed) {
+        seed_ = other.seed_;
+    }
+    return *this;
+}
+
 // ---------------------------------------------------------------------
 // Parsing
 // ---------------------------------------------------------------------

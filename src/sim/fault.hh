@@ -89,6 +89,15 @@ class FaultPlan {
     size_t size() const { return events_.size(); }
 
     /**
+     * Timeline union: append @p other's events after this plan's
+     * (each event keeps its own simulated time; the scheduler orders
+     * them).  With @p take_seed, @p other's seed replaces this plan's
+     * — used when command-line fault.* keys override a --fault-plan
+     * file's timeline.
+     */
+    FaultPlan &merge(const FaultPlan &other, bool take_seed = false);
+
+    /**
      * Parse fault.<i>.* keys (i = 0, 1, ... until the first missing
      * fault.<i>.kind) plus an optional fault.seed.  Keys per event:
      * kind (trunk_down/trunk_up/trunk_brownout/trunk_repair/

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "analysis/json_writer.hh"
+
+namespace diablo {
+namespace analysis {
+namespace {
+
+TEST(JsonEscape, ControlQuotesAndBackslash)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(jsonEscape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(JsonWriter, CompactObject)
+{
+    JsonWriter w(/*pretty=*/false);
+    w.beginObject();
+    w.field("s", "v");
+    w.field("i", int64_t{-3});
+    w.field("u", uint64_t{7});
+    w.field("b", true);
+    w.fieldHex("h", uint64_t{0xabcd});
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"s\":\"v\",\"i\":-3,\"u\":7,\"b\":true,"
+                       "\"h\":\"0x000000000000abcd\"}");
+}
+
+TEST(JsonWriter, NestedContainers)
+{
+    JsonWriter w(/*pretty=*/false);
+    w.beginObject();
+    w.beginArray("xs");
+    w.value(uint64_t{1});
+    w.value(uint64_t{2});
+    w.endArray();
+    w.beginObject("o");
+    w.field("k", "v");
+    w.endObject();
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"xs\":[1,2],\"o\":{\"k\":\"v\"}}");
+}
+
+TEST(JsonWriter, PrettyIndentsTwoSpaces)
+{
+    JsonWriter w(/*pretty=*/true);
+    w.beginObject();
+    w.field("a", uint64_t{1});
+    w.beginObject("o");
+    w.field("b", uint64_t{2});
+    w.endObject();
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\n  \"a\": 1,\n  \"o\": {\n    \"b\": 2\n  }\n}");
+}
+
+TEST(JsonWriter, DoublesRoundTripAndNonFiniteIsNull)
+{
+    JsonWriter w(/*pretty=*/false);
+    w.beginObject();
+    w.field("d", 1.5);
+    w.field("nan", std::nan(""));
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"d\":1.5,\"nan\":null}");
+}
+
+TEST(JsonWriterDeathTest, ShapeErrorsAreFatal)
+{
+    EXPECT_DEATH(
+        {
+            JsonWriter w;
+            w.endObject();
+        },
+        "");
+    EXPECT_DEATH(
+        {
+            JsonWriter w;
+            w.beginObject();
+            w.str();
+        },
+        "");
+    EXPECT_DEATH(
+        {
+            JsonWriter w;
+            w.beginObject();
+            w.value(uint64_t{1}); // bare value inside an object
+        },
+        "");
+}
+
+} // namespace
+} // namespace analysis
+} // namespace diablo

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "core/config.hh"
 
 namespace diablo {
@@ -84,6 +86,50 @@ TEST(Config, KeysSorted)
     EXPECT_EQ(ks[0], "aa");
     EXPECT_EQ(ks[1], "mm");
     EXPECT_EQ(ks[2], "zz");
+}
+
+TEST(Config, LargeInBoundsValuesStillParse)
+{
+    Config c;
+    c.set("imax", "9223372036854775807");
+    c.set("imin", "-9223372036854775808");
+    c.set("umax", "18446744073709551615");
+    c.set("dbig", "1e308");
+    EXPECT_EQ(c.getInt("imax", 0), INT64_MAX);
+    EXPECT_EQ(c.getInt("imin", 0), INT64_MIN);
+    EXPECT_EQ(c.getUint("umax", 0), UINT64_MAX);
+    EXPECT_DOUBLE_EQ(c.getDouble("dbig", 0), 1e308);
+}
+
+TEST(ConfigDeathTest, IntOverflowIsFatal)
+{
+    Config c;
+    c.set("k", "9223372036854775808"); // INT64_MAX + 1
+    EXPECT_DEATH(c.getInt("k", 0), "out of int64 range");
+    c.set("k", "-9223372036854775809");
+    EXPECT_DEATH(c.getInt("k", 0), "out of int64 range");
+}
+
+TEST(ConfigDeathTest, UintRejectsNegative)
+{
+    // strtoull happily wraps "-1" to 2^64-1; the reader must not.
+    Config c;
+    c.set("k", "-1");
+    EXPECT_DEATH(c.getUint("k", 0), "negative");
+}
+
+TEST(ConfigDeathTest, UintOverflowIsFatal)
+{
+    Config c;
+    c.set("k", "18446744073709551616"); // UINT64_MAX + 1
+    EXPECT_DEATH(c.getUint("k", 0), "out of uint64 range");
+}
+
+TEST(ConfigDeathTest, DoubleOverflowIsFatal)
+{
+    Config c;
+    c.set("k", "1e999");
+    EXPECT_DEATH(c.getDouble("k", 0), "overflows a double");
 }
 
 } // namespace

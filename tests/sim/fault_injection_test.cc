@@ -357,6 +357,43 @@ TEST(FaultPlanDeathTest, UnknownKindIsFatal)
     EXPECT_DEATH(FaultPlan::fromConfig(cfg), "unknown fault kind");
 }
 
+// A --fault-plan file plus command-line fault.* keys used to silently
+// drop the command-line events; merge() is the union the CLI now uses.
+TEST(FaultPlan, MergeAppendsEventsAndOptionallyTakesSeed)
+{
+    Config file_cfg;
+    file_cfg.set("fault.seed", 7);
+    file_cfg.set("fault.0.kind", "trunk_down");
+    file_cfg.set("fault.0.at_us", 1000);
+    file_cfg.set("fault.0.rack", 0);
+    FaultPlan plan = FaultPlan::fromConfig(file_cfg);
+
+    Config cli_cfg;
+    cli_cfg.set("fault.seed", 9);
+    cli_cfg.set("fault.0.kind", "trunk_up");
+    cli_cfg.set("fault.0.at_us", 2000);
+    cli_cfg.set("fault.0.rack", 0);
+    FaultPlan cli = FaultPlan::fromConfig(cli_cfg);
+
+    FaultPlan merged = plan;
+    merged.merge(cli, /*take_seed=*/false);
+    ASSERT_EQ(merged.size(), 2u);
+    EXPECT_EQ(merged.seed(), 7u); // file seed kept
+    EXPECT_EQ(merged.events()[0].at, SimTime::us(1000));
+    EXPECT_EQ(merged.events()[1].at, SimTime::us(2000));
+
+    FaultPlan overridden = plan;
+    overridden.merge(cli, /*take_seed=*/true);
+    ASSERT_EQ(overridden.size(), 2u);
+    EXPECT_EQ(overridden.seed(), 9u); // CLI fault.seed wins
+
+    // Merging an empty plan is a no-op either way.
+    FaultPlan lone = plan;
+    lone.merge(FaultPlan(), /*take_seed=*/false);
+    EXPECT_EQ(lone.size(), plan.size());
+    EXPECT_EQ(lone.seed(), plan.seed());
+}
+
 TEST(FaultControllerDeathTest, ValidatesAgainstTopology)
 {
     ClusterParams params = pairParams(); // single rack: no trunks

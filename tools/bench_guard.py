@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Guard engine and datapath performance invariants in CI.
 
-Three modes:
+Four modes:
 
 sync (default) — reads a google-benchmark JSON file (--benchmark_out)
 containing BM_ClusterIncastSharded rows and checks that the fused
@@ -30,10 +30,18 @@ sequential and parallel executions must have been bit-identical
 the sketch fold must be at least --min-sketch-speedup (default 10x)
 faster than the raw SampleSet fold at equal sample counts.
 
+sweep (--mode sweep) — reads the report.json a diablo_sweep run
+directory contains (no stdout scraping: the merged report is the
+machine-readable contract) and enforces that every grid point ran to
+completion (exit_code 0 with a parseable artifact) and that every
+engine cross-check group — grid points identical except for the engine
+— produced bit-identical run fingerprints.
+
 Usage:
     bench_guard.py <benchmark.json> [--racks N] [--min-ratio R]
     bench_guard.py BENCH_packet.json --mode packet [--max-regression F]
     bench_guard.py BENCH_scale.json --mode scale [--min-nodes-per-gb N]
+    bench_guard.py sweep-out/report.json --mode sweep
 
 Exit status 0 when the invariants hold, 1 on a regression or missing
 rows.  Timings on shared CI runners are noisy, so the default floors
@@ -184,10 +192,52 @@ def check_scale(path, min_nodes_per_gb, min_events_per_sec,
     return 1 if failed else 0
 
 
+def check_sweep(path):
+    """Every sweep run completed; every engine cross-check matched."""
+    with open(path) as f:
+        report = json.load(f)
+
+    runs = report.get("runs", [])
+    checks = report.get("engine_cross_checks", [])
+    if not runs:
+        print(f"bench_guard: {path} has no runs", file=sys.stderr)
+        return 1
+
+    failed = False
+    for run in runs:
+        name = run.get("name", "?")
+        code = run.get("exit_code", -1)
+        fp = run.get("fingerprint")
+        if code != 0 or not fp:
+            print(f"bench_guard: {name} FAILED "
+                  f"(exit={code}, fingerprint={fp})", file=sys.stderr)
+            failed = True
+        else:
+            print(f"bench_guard: {name} ok "
+                  f"elapsed_ms={run.get('elapsed_us', 0) / 1000:.1f} "
+                  f"fingerprint={fp}")
+    for check in checks:
+        group = check.get("group", "?")
+        match = check.get("match", False)
+        fps = {r.get("engine", "?"): r.get("fingerprint", "?")
+               for r in check.get("runs", [])}
+        verdict = "MATCH" if match else "DETERMINISM-REGRESSION"
+        print(f"bench_guard: cross-check [{group}] {verdict} {fps}")
+        if not match:
+            failed = True
+    if not report.get("ok", False) and not failed:
+        print(f"bench_guard: {path} reports ok=false", file=sys.stderr)
+        failed = True
+    print(f"bench_guard: sweep {report.get('sweep', '?')}: "
+          f"{len(runs)} runs, {len(checks)} cross-checks, "
+          f"{'FAIL' if failed else 'OK'}")
+    return 1 if failed else 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("json_file")
-    ap.add_argument("--mode", choices=["sync", "packet", "scale"],
+    ap.add_argument("--mode", choices=["sync", "packet", "scale", "sweep"],
                     default="sync",
                     help="which invariant to check (default sync)")
     ap.add_argument("--racks", type=int, default=4,
@@ -211,6 +261,8 @@ def main():
                          "speedup at equal sample counts (default 10)")
     opts = ap.parse_args()
 
+    if opts.mode == "sweep":
+        return check_sweep(opts.json_file)
     if opts.mode == "packet":
         return check_packet(opts.json_file, opts.max_regression)
     if opts.mode == "scale":

@@ -15,7 +15,9 @@
  *
  * --fault-plan <file> injects a deterministic fault timeline (see
  * sim::FaultPlan::fromFile for the key=value schema) into the run;
- * fault.<i>.* keys given directly on the command line work too.
+ * fault.<i>.* keys given directly on the command line work too, and
+ * when both are present the file's timeline comes first with the
+ * command-line events appended (and a command-line fault.seed winning).
  *
  * --engine <single|seq|par> selects the execution engine: `single`
  * (default) runs the whole array on one Simulator; `seq` and `par`
@@ -23,6 +25,20 @@
  * sequential reference or the fused parallel engine — all three
  * produce bit-identical simulated results.  --threads <N> caps the
  * parallel engine's worker count (0 = one per hardware thread).
+ *
+ * --json <path> writes the machine-readable run artifact (see
+ * analysis::RunArtifact for the schema): everything the text report
+ * prints — goodput, latency digests incl. per hop class, datapath /
+ * pool / fault / memory counters, engine + quanta stats, the run's
+ * determinism fingerprint, and the full key=value configuration.
+ * diablo_sweep consumes these artifacts.
+ *
+ * telemetry.period=<sim-time µs> streams in-run snapshots (goodput,
+ * requests completed, p99-so-far, pool ledger, materialized-node
+ * deltas) to a JSONL file every period of *simulated* time
+ * (telemetry.path overrides the destination, default <json>.telemetry
+ * .jsonl).  Sampling only reads model state on the simulated clock, so
+ * enabling it never changes simulated results or fingerprints.
  *
  * --mem-report prints the memory-diet ledger after the run: peak RSS,
  * bytes per simulated node, how many nodes were actually materialized
@@ -34,15 +50,19 @@
 
 #include <sys/resource.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <string>
 
 #include "apps/incast.hh"
 #include "apps/mc_experiment.hh"
+#include "analysis/artifact.hh"
 #include "analysis/report.hh"
 #include "sim/fault.hh"
+#include "sim/telemetry.hh"
 
 using namespace diablo;
 
@@ -70,20 +90,45 @@ struct EngineOpts {
         }
         return true;
     }
+
+    const char *
+    name() const
+    {
+        switch (engine) {
+        case Engine::Single:
+            return "single";
+        case Engine::Seq:
+            return "seq";
+        case Engine::Par:
+            return "par";
+        }
+        return "?";
+    }
+};
+
+/** Everything main() parses besides key=value model overrides. */
+struct RunOpts {
+    EngineOpts eng;
+    const char *plan_file = nullptr;
+    const char *json_path = nullptr;
 };
 
 /**
- * Build the run's fault plan: the --fault-plan file if given, else any
- * fault.<i>.* keys from the command line.  Returns an empty plan when
- * the run is fault-free.
+ * Build the run's fault plan: the --fault-plan file (when given) comes
+ * first, then any fault.<i>.* command-line events are appended, with a
+ * command-line fault.seed overriding the file's.  Returns an empty
+ * plan when the run is fault-free.
  */
 sim::FaultPlan
 makeFaultPlan(const Config &cfg, const char *plan_file)
 {
-    if (plan_file != nullptr) {
-        return sim::FaultPlan::fromFile(plan_file);
+    sim::FaultPlan cli = sim::FaultPlan::fromConfig(cfg);
+    if (plan_file == nullptr) {
+        return cli;
     }
-    return sim::FaultPlan::fromConfig(cfg);
+    sim::FaultPlan plan = sim::FaultPlan::fromFile(plan_file);
+    plan.merge(cli, /*take_seed=*/cfg.has("fault.seed"));
+    return plan;
 }
 
 void
@@ -154,6 +199,15 @@ printDatapathStats(sim::Cluster &cluster)
                     cluster.totalNicTxRingDrops()));
 }
 
+uint64_t
+peakRssBytes()
+{
+    struct rusage ru;
+    std::memset(&ru, 0, sizeof(ru));
+    getrusage(RUSAGE_SELF, &ru);
+    return static_cast<uint64_t>(ru.ru_maxrss) * 1024;
+}
+
 /**
  * The memory-diet ledger: process peak RSS, bytes per simulated node,
  * materialization ratio, and the per-arena slab accounting (one arena
@@ -162,10 +216,7 @@ printDatapathStats(sim::Cluster &cluster)
 void
 printMemReport(sim::Cluster &cluster)
 {
-    struct rusage ru;
-    std::memset(&ru, 0, sizeof(ru));
-    getrusage(RUSAGE_SELF, &ru);
-    const uint64_t rss = static_cast<uint64_t>(ru.ru_maxrss) * 1024;
+    const uint64_t rss = peakRssBytes();
     const uint32_t nodes = cluster.size();
 
     std::printf("mem: peak_rss=%.1f MB bytes/node=%.0f nodes/GB=%.0f\n",
@@ -202,10 +253,147 @@ printMemReport(sim::Cluster &cluster)
                 static_cast<unsigned long long>(reserved));
 }
 
+/** "256KB"-style rendering of a byte count for the incast summary. */
+std::string
+fmtBytes(uint64_t b)
+{
+    char buf[32];
+    if (b >= 1024 * 1024 && b % (1024 * 1024) == 0) {
+        std::snprintf(buf, sizeof(buf), "%lluMB",
+                      static_cast<unsigned long long>(b >> 20));
+    } else if (b >= 1024 && b % 1024 == 0) {
+        std::snprintf(buf, sizeof(buf), "%lluKB",
+                      static_cast<unsigned long long>(b >> 10));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%lluB",
+                      static_cast<unsigned long long>(b));
+    }
+    return buf;
+}
+
+/**
+ * Construct the telemetry probe when telemetry.period (sim-time µs) is
+ * set.  The stream goes to telemetry.path, defaulting to the --json
+ * path with a .telemetry.jsonl suffix (or ./telemetry.jsonl when the
+ * run has no artifact).
+ */
+std::unique_ptr<sim::TelemetryProbe>
+makeProbe(const Config &cfg, sim::Cluster &cluster, const RunOpts &opts)
+{
+    const double period_us = cfg.getDouble("telemetry.period", 0.0);
+    if (period_us <= 0.0) {
+        return nullptr;
+    }
+    std::string def = opts.json_path != nullptr
+                          ? std::string(opts.json_path) +
+                                ".telemetry.jsonl"
+                          : std::string("telemetry.jsonl");
+    return std::make_unique<sim::TelemetryProbe>(
+        cluster, SimTime::microseconds(period_us),
+        cfg.getString("telemetry.path", def));
+}
+
+/**
+ * Shared artifact sections: engine identity, per-partition event/pool
+ * ledgers, the datapath + network counter groups, fault outcome, the
+ * memory report, telemetry metadata, and the resolved configuration.
+ */
+void
+fillCommonArtifact(analysis::RunArtifact &a, sim::Cluster &cluster,
+                   const Config &cfg, const RunOpts &opts,
+                   const sim::FaultPlan &plan,
+                   const sim::TelemetryProbe *probe)
+{
+    a.engine = opts.eng.name();
+    a.threads_requested = opts.eng.threads;
+    a.nodes = cluster.size();
+
+    fame::PartitionSet *ps = cluster.partitionSet();
+    a.partitions = ps != nullptr ? ps->size() : 1;
+    a.workers = (ps != nullptr && opts.eng.engine == Engine::Par)
+                    ? ps->lastRunWorkers()
+                    : 1;
+    a.quanta = ps != nullptr ? ps->quantaExecuted() : 0;
+    a.executed_events = ps != nullptr ? ps->totalExecutedEvents()
+                                      : cluster.sim().executedEvents();
+    const auto pools = cluster.poolStats();
+    for (size_t i = 0; i < pools.size(); ++i) {
+        analysis::RunArtifact::PartitionRow row;
+        row.events = ps != nullptr ? ps->partition(i).executedEvents()
+                                   : cluster.sim().executedEvents();
+        row.pool_makes = pools[i].makes;
+        row.pool_recycles = pools[i].recycles;
+        row.pool_heap_allocs = pools[i].heap_allocs;
+        row.pool_returns = pools[i].returns;
+        row.pool_high_water = pools[i].high_water;
+        a.partition_rows.push_back(row);
+    }
+
+    auto &net = a.addGroup("network");
+    net.counters = {
+        {"switch_drops", cluster.network().totalSwitchDrops()},
+        {"forwarded", cluster.network().totalForwarded()},
+        {"tcp_retransmits", cluster.totalTcpRetransmits()},
+        {"tcp_rtos", cluster.totalTcpRtos()},
+        {"udp_socket_drops", cluster.totalUdpSocketDrops()},
+        {"nic_rx_drops", cluster.totalNicRxDrops()},
+    };
+    auto &dp = a.addGroup("datapath");
+    dp.counters = {
+        {"delivery_trains", cluster.totalDeliveryTrains()},
+        {"deliveries_coalesced", cluster.totalDeliveriesCoalesced()},
+        {"nic_tx_ring_drops", cluster.totalNicTxRingDrops()},
+    };
+    if (!plan.empty()) {
+        auto &f = a.addGroup("faults");
+        f.counters = {
+            {"plan_events", plan.size()},
+            {"reroutes", cluster.network().rerouteCount()},
+            {"link_down_drops", cluster.network().totalLinkDownDrops()},
+            {"link_degrade_drops",
+             cluster.network().totalLinkDegradeDrops()},
+            {"tcp_aborts", cluster.totalTcpAborts()},
+            {"tcp_recovered", cluster.totalTcpRecovered()},
+            {"crash_rx_discards", cluster.totalCrashRxDiscards()},
+        };
+    }
+
+    a.has_mem = true;
+    a.peak_rss_mb =
+        static_cast<double>(peakRssBytes()) / (1024.0 * 1024.0);
+    a.materialized_nodes = cluster.materializedServers();
+    a.lazy_servers = cluster.params().lazy_servers;
+    for (const auto &ar : cluster.arenaStats()) {
+        a.arena_bytes_used += ar.bytes_used;
+        a.arena_bytes_reserved += ar.bytes_reserved;
+    }
+
+    if (probe != nullptr) {
+        a.telemetry_path = probe->path();
+        a.telemetry_period_us = probe->period().asMicros();
+        a.telemetry_samples = probe->samplesWritten();
+    }
+
+    a.config = cfg;
+    a.config.set("resolved.kernel",
+                 cluster.params().kernel_profile.name);
+}
+
+void
+writeArtifact(const analysis::RunArtifact &a, const RunOpts &opts)
+{
+    if (opts.json_path == nullptr) {
+        return;
+    }
+    a.writeJson(opts.json_path);
+    std::printf("artifact: %s\n", opts.json_path);
+}
+
 int
 runMemcached(const Config &cfg, const sim::FaultPlan &plan,
-             const EngineOpts &eng)
+             const RunOpts &opts)
 {
+    const EngineOpts &eng = opts.eng;
     apps::McExperimentParams p;
     p.cluster = cfg.getDouble("topo.rack.port_gbps", 1.0) > 5
                     ? sim::ClusterParams::tengig100ns()
@@ -241,6 +429,16 @@ runMemcached(const Config &cfg, const sim::FaultPlan &plan,
     }
     std::unique_ptr<sim::FaultController> fc;
     installFaults(exp->cluster(), plan, fc);
+    std::unique_ptr<sim::TelemetryProbe> probe =
+        makeProbe(cfg, exp->cluster(), opts);
+    if (probe != nullptr) {
+        probe->setSampler([&exp](sim::TelemetryProbe::AppStats &s) {
+            const auto ls = exp->liveStats();
+            s.requests_completed = ls.requests_completed;
+            s.p99_us = ls.p99_us;
+        });
+        exp->attachTelemetry(probe.get());
+    }
     exp->run(eng.engine == Engine::Par);
     const auto &r = exp->result();
 
@@ -286,13 +484,42 @@ runMemcached(const Config &cfg, const sim::FaultPlan &plan,
     if (!plan.empty()) {
         printFaultOutcome(exp->cluster());
     }
+
+    if (opts.json_path != nullptr) {
+        analysis::RunArtifact a;
+        a.workload = "memcached";
+        a.elapsed_us = r.elapsed.asMicros();
+        a.requests_completed = r.requests_completed;
+        a.latencies.emplace_back(
+            "latency_us", analysis::LatencyDigest::of(r.latency_us));
+        for (int h = 0; h < 3; ++h) {
+            a.latencies.emplace_back(
+                std::string("latency_us.") + names[h],
+                analysis::LatencyDigest::of(r.latency_us_by_hop[h]));
+        }
+        a.latencies.emplace_back(
+            "first_request_us",
+            analysis::LatencyDigest::of(r.first_request_us));
+        auto &app = a.addGroup("app");
+        app.counters = {
+            {"servers", r.servers},
+            {"clients", r.clients},
+            {"udp_retries", r.udp_retries},
+            {"udp_lost", r.udp_timeouts},
+        };
+        fillCommonArtifact(a, exp->cluster(), cfg, opts, plan,
+                           probe.get());
+        a.config.set("resolved.proto", p.server.udp ? "UDP" : "TCP");
+        writeArtifact(a, opts);
+    }
     return 0;
 }
 
 int
 runIncast(const Config &cfg, const sim::FaultPlan &plan,
-          const EngineOpts &eng)
+          const RunOpts &opts)
 {
+    const EngineOpts &eng = opts.eng;
     const uint32_t n = static_cast<uint32_t>(
         cfg.getUint("incast.servers", 8));
     // incast.racks spreads the fan-in across racks so the trunk and
@@ -334,19 +561,46 @@ runIncast(const Config &cfg, const sim::FaultPlan &plan,
     app.install();
     std::unique_ptr<sim::FaultController> fc;
     installFaults(*cluster, plan, fc);
+    std::unique_ptr<sim::TelemetryProbe> probe =
+        makeProbe(cfg, *cluster, opts);
+    if (probe != nullptr) {
+        probe->setSampler(
+            [&app, &ip, n](sim::TelemetryProbe::AppStats &s) {
+                const apps::IncastResult &r = app.result();
+                const uint64_t iters = r.iteration_us.count();
+                s.requests_completed = iters;
+                s.bytes = iters * ip.block_bytes * n;
+                if (iters != 0) {
+                    s.p99_us = r.iteration_us.percentile(99);
+                }
+            });
+    }
     if (sim != nullptr) {
+        if (probe != nullptr) {
+            probe->installPeriodic(
+                [&app] { return app.result().done; });
+        }
         sim->run();
     } else {
         // The PartitionSet runs to a time bound; advance in windows
         // until the client reports completion (or a generous cap, in
         // case a fault plan leaves the transfer unable to finish).
+        // Telemetry subdivides each window at the sample instants; the
+        // outer window sequence is identical with the probe on or off.
         SimTime t;
+        auto step = [&](SimTime w) {
+            if (eng.engine == Engine::Par) {
+                ps->runParallel(w);
+            } else {
+                ps->runSequential(w);
+            }
+        };
         while (!app.result().done && t < SimTime::sec(60)) {
             t = t + SimTime::ms(250);
-            if (eng.engine == Engine::Par) {
-                ps->runParallel(t);
+            if (probe != nullptr) {
+                probe->driveTo(t, step);
             } else {
-                ps->runSequential(t);
+                step(t);
             }
         }
         std::printf("engine=%s partitions=%zu workers=%zu\n",
@@ -363,8 +617,8 @@ runIncast(const Config &cfg, const sim::FaultPlan &plan,
     const auto &r = app.result();
     std::printf("incast: %u servers in %u rack%s, %s blocks x %u "
                 "iterations (%s client)\n", n, racks,
-                racks == 1 ? "" : "s", "256KB", ip.iterations,
-                ip.use_epoll ? "epoll" : "pthread");
+                racks == 1 ? "" : "s", fmtBytes(ip.block_bytes).c_str(),
+                ip.iterations, ip.use_epoll ? "epoll" : "pthread");
     std::printf("goodput=%.1f Mbps; drops=%llu rtos=%llu retx=%llu\n",
                 r.goodputMbps(),
                 static_cast<unsigned long long>(
@@ -381,6 +635,26 @@ runIncast(const Config &cfg, const sim::FaultPlan &plan,
     if (!plan.empty()) {
         printFaultOutcome(*cluster);
     }
+
+    if (opts.json_path != nullptr) {
+        analysis::RunArtifact a;
+        a.workload = "incast";
+        a.elapsed_us = r.elapsed.asMicros();
+        a.goodput_mbps = r.goodputMbps();
+        a.requests_completed = r.iteration_us.count();
+        a.latencies.emplace_back(
+            "iteration_us", analysis::LatencyDigest::of(r.iteration_us));
+        auto &app_grp = a.addGroup("app");
+        app_grp.counters = {
+            {"servers", n},
+            {"racks", racks},
+            {"total_bytes", r.total_bytes},
+            {"block_bytes", ip.block_bytes},
+            {"iterations", ip.iterations},
+        };
+        fillCommonArtifact(a, *cluster, cfg, opts, plan, probe.get());
+        writeArtifact(a, opts);
+    }
     return 0;
 }
 
@@ -393,13 +667,13 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: %s <memcached|incast> [--fault-plan <file>] "
                      "[--engine <single|seq|par>] [--threads <N>] "
-                     "[--mem-report] [key=value ...]\n",
+                     "[--json <path>] [--mem-report] [key=value ...]\n",
                      argv[0]);
         return 2;
     }
     Config cfg;
-    const char *plan_file = nullptr;
-    EngineOpts eng;
+    RunOpts opts;
+    EngineOpts &eng = opts.eng;
     for (int i = 2; i < argc; ++i) {
         // Each --flag accepts both "--flag value" and "--flag=value".
         auto flagValue = [&](const char *flag) -> const char * {
@@ -420,7 +694,11 @@ main(int argc, char **argv)
             return nullptr;
         };
         if (const char *v = flagValue("--fault-plan")) {
-            plan_file = v;
+            opts.plan_file = v;
+            continue;
+        }
+        if (const char *v = flagValue("--json")) {
+            opts.json_path = v;
             continue;
         }
         if (const char *v = flagValue("--engine")) {
@@ -433,7 +711,24 @@ main(int argc, char **argv)
             continue;
         }
         if (const char *v = flagValue("--threads")) {
-            eng.threads = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+            // Strict parse: strtoull with an unchecked end pointer
+            // would silently turn "--threads abc" into 0 (= hardware
+            // default) and accept trailing garbage or a negative wrap.
+            if (*v == '\0' ||
+                std::strspn(v, "0123456789") != std::strlen(v)) {
+                std::fprintf(stderr,
+                             "--threads needs a non-negative integer "
+                             "(got '%s')\n", v);
+                return 2;
+            }
+            errno = 0;
+            const unsigned long long t = std::strtoull(v, nullptr, 10);
+            if (errno == ERANGE) {
+                std::fprintf(stderr, "--threads value '%s' is out of "
+                             "range\n", v);
+                return 2;
+            }
+            eng.threads = static_cast<size_t>(t);
             continue;
         }
         if (std::strcmp(argv[i], "--mem-report") == 0) {
@@ -446,12 +741,12 @@ main(int argc, char **argv)
             return 2;
         }
     }
-    const sim::FaultPlan plan = makeFaultPlan(cfg, plan_file);
+    const sim::FaultPlan plan = makeFaultPlan(cfg, opts.plan_file);
     if (std::strcmp(argv[1], "memcached") == 0) {
-        return runMemcached(cfg, plan, eng);
+        return runMemcached(cfg, plan, opts);
     }
     if (std::strcmp(argv[1], "incast") == 0) {
-        return runIncast(cfg, plan, eng);
+        return runIncast(cfg, plan, opts);
     }
     std::fprintf(stderr, "unknown experiment '%s'\n", argv[1]);
     return 2;

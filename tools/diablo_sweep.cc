@@ -1,0 +1,620 @@
+/**
+ * @file
+ * diablo_sweep: scenario-grid orchestrator over diablo_run.
+ *
+ * Reads a sweep spec — key=value lines, '#' comments — where any
+ * comma-separated value becomes a grid axis, expands the cross
+ * product, and fork/execs one `diablo_run --json` job per grid point
+ * with a concurrency cap.  Per-run artifacts and logs land in the run
+ * directory; afterwards the artifacts are merged into a comparison
+ * table (stdout) and a machine-readable report.json.
+ *
+ *   # incast_sweep.spec
+ *   workload = incast
+ *   engine = seq,par            # axis: engines to cross-check
+ *   incast.servers = 8,16       # axis: model parameter grid
+ *   incast.iterations = 5
+ *   sweep.jobs = 4
+ *
+ *   diablo_sweep incast_sweep.spec --out sweep-out
+ *
+ * Special keys: `workload` (required) selects the experiment;
+ * `engine`, `threads`, and `fault_plan` map to the corresponding
+ * diablo_run flags; `sweep.jobs` caps concurrent jobs (--jobs
+ * overrides); `sweep.name` names the run directory's report.  Every
+ * other key is passed through as a model override.
+ *
+ * Determinism cross-check: grid points identical except for `engine`
+ * form a group, and their artifact fingerprints must be equal — the
+ * seq≡par contract checked end-to-end through the CLI.  Any job
+ * failure or fingerprint mismatch makes the sweep exit non-zero.
+ */
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/json_writer.hh"
+#include "analysis/report.hh"
+#include "core/log.hh"
+
+using namespace diablo;
+
+namespace {
+
+std::string
+trimmed(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos) {
+        return "";
+    }
+    size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+/** One spec entry; values.size() > 1 makes it a grid axis. */
+struct Axis {
+    std::string key;
+    std::vector<std::string> values;
+};
+
+/** Parsed sweep spec: axes in file order plus the sweep.* controls. */
+struct Spec {
+    std::vector<Axis> axes;
+    size_t jobs = 4;
+    std::string name = "sweep";
+};
+
+Spec
+parseSpec(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        fatal("diablo_sweep: cannot read spec '%s'", path.c_str());
+    }
+    Spec spec;
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const size_t hash = line.find('#');
+        if (hash != std::string::npos) {
+            line.erase(hash);
+        }
+        if (trimmed(line).empty()) {
+            continue;
+        }
+        const size_t eq = line.find('=');
+        if (eq == std::string::npos) {
+            fatal("diablo_sweep: %s:%zu: expected key=value, got '%s'",
+                  path.c_str(), lineno, trimmed(line).c_str());
+        }
+        Axis a;
+        a.key = trimmed(line.substr(0, eq));
+        // Comma-separated values expand into a grid axis.
+        std::string rest = line.substr(eq + 1);
+        size_t pos = 0;
+        while (true) {
+            const size_t comma = rest.find(',', pos);
+            const std::string v = trimmed(
+                rest.substr(pos, comma == std::string::npos
+                                     ? std::string::npos
+                                     : comma - pos));
+            if (v.empty()) {
+                fatal("diablo_sweep: %s:%zu: empty value in '%s'",
+                      path.c_str(), lineno, a.key.c_str());
+            }
+            a.values.push_back(v);
+            if (comma == std::string::npos) {
+                break;
+            }
+            pos = comma + 1;
+        }
+        if (a.key == "sweep.jobs") {
+            spec.jobs = static_cast<size_t>(
+                std::strtoull(a.values[0].c_str(), nullptr, 10));
+            continue;
+        }
+        if (a.key == "sweep.name") {
+            spec.name = a.values[0];
+            continue;
+        }
+        for (const Axis &prev : spec.axes) {
+            if (prev.key == a.key) {
+                fatal("diablo_sweep: %s:%zu: duplicate key '%s'",
+                      path.c_str(), lineno, a.key.c_str());
+            }
+        }
+        spec.axes.push_back(std::move(a));
+    }
+    bool has_workload = false;
+    for (const Axis &a : spec.axes) {
+        has_workload = has_workload || a.key == "workload";
+    }
+    if (!has_workload) {
+        fatal("diablo_sweep: spec '%s' does not set 'workload'",
+              path.c_str());
+    }
+    return spec;
+}
+
+/** One expanded grid point plus everything its job produced. */
+struct Job {
+    std::vector<std::pair<std::string, std::string>> assign;
+    std::string label;    ///< axis assignments only ("base" if none)
+    std::string name;     ///< filesystem-safe run name
+    std::string json;     ///< artifact path
+    std::string log;      ///< combined stdout+stderr path
+    std::vector<std::string> argv;
+    pid_t pid = -1;
+    int exit_code = -1;
+
+    // Scraped from the artifact after the job exits.
+    bool parsed = false;
+    std::string fingerprint;
+    double elapsed_us = 0.0;
+    double goodput_mbps = 0.0;
+    double p99_us = 0.0;
+    uint64_t requests = 0;
+
+    std::string
+    get(const std::string &key) const
+    {
+        for (const auto &[k, v] : assign) {
+            if (k == key) {
+                return v;
+            }
+        }
+        return "";
+    }
+};
+
+std::string
+sanitize(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '.' || c == '-';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+/** Expand the axes' cross product, first axis slowest. */
+std::vector<Job>
+expandGrid(const Spec &spec, const std::string &out_dir,
+           const std::string &runner)
+{
+    size_t total = 1;
+    for (const Axis &a : spec.axes) {
+        total *= a.values.size();
+    }
+    std::vector<Job> jobs;
+    for (size_t idx = 0; idx < total; ++idx) {
+        Job j;
+        size_t rem = idx;
+        for (size_t ai = spec.axes.size(); ai-- > 0;) {
+            const Axis &a = spec.axes[ai];
+            j.assign.emplace_back(a.key,
+                                  a.values[rem % a.values.size()]);
+            rem /= a.values.size();
+        }
+        std::reverse(j.assign.begin(), j.assign.end());
+        for (size_t ai = 0; ai < spec.axes.size(); ++ai) {
+            if (spec.axes[ai].values.size() > 1) {
+                if (!j.label.empty()) {
+                    j.label += ",";
+                }
+                j.label += spec.axes[ai].key + "=" + j.assign[ai].second;
+            }
+        }
+        if (j.label.empty()) {
+            j.label = "base";
+        }
+        char num[32];
+        std::snprintf(num, sizeof(num), "run%03zu", idx);
+        j.name = std::string(num) + "_" + sanitize(j.label);
+        j.json = out_dir + "/" + j.name + ".json";
+        j.log = out_dir + "/" + j.name + ".log";
+
+        j.argv.push_back(runner);
+        j.argv.push_back(j.get("workload"));
+        j.argv.push_back("--json");
+        j.argv.push_back(j.json);
+        for (const auto &[k, v] : j.assign) {
+            if (k == "workload") {
+                continue;
+            }
+            if (k == "engine") {
+                j.argv.push_back("--engine");
+                j.argv.push_back(v);
+            } else if (k == "threads") {
+                j.argv.push_back("--threads");
+                j.argv.push_back(v);
+            } else if (k == "fault_plan") {
+                j.argv.push_back("--fault-plan");
+                j.argv.push_back(v);
+            } else {
+                j.argv.push_back(k + "=" + v);
+            }
+        }
+        jobs.push_back(std::move(j));
+    }
+    return jobs;
+}
+
+/** fork/exec one job with stdout+stderr redirected to its log file. */
+pid_t
+spawnJob(const Job &j)
+{
+    // Flush before forking so the child doesn't replay the parent's
+    // buffered output into its log (or the terminal).
+    std::fflush(stdout);
+    std::fflush(stderr);
+    const pid_t pid = fork();
+    if (pid < 0) {
+        fatal("diablo_sweep: fork: %s", std::strerror(errno));
+    }
+    if (pid != 0) {
+        return pid;
+    }
+    FILE *log = std::freopen(j.log.c_str(), "w", stdout);
+    if (log == nullptr) {
+        std::_Exit(127);
+    }
+    dup2(fileno(stdout), fileno(stderr));
+    std::vector<char *> argv;
+    for (const std::string &a : j.argv) {
+        argv.push_back(const_cast<char *>(a.c_str()));
+    }
+    argv.push_back(nullptr);
+    execvp(argv[0], argv.data());
+    std::fprintf(stderr, "diablo_sweep: exec %s: %s\n", argv[0],
+                 std::strerror(errno));
+    std::_Exit(127);
+}
+
+/**
+ * Minimal field scrape of a diablo_run artifact.  We wrote the schema
+ * (analysis::RunArtifact::toJson), so positional extraction is safe:
+ * the run fingerprint is the only one at top-level indentation, and
+ * the numeric result fields appear exactly once.
+ */
+bool
+scrapeArtifact(Job &j)
+{
+    std::ifstream in(j.json);
+    if (!in) {
+        return false;
+    }
+    std::string doc((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    auto num = [&doc](const char *key, double &out) {
+        const std::string pat = std::string("\"") + key + "\": ";
+        const size_t p = doc.find(pat);
+        if (p == std::string::npos) {
+            return false;
+        }
+        out = std::strtod(doc.c_str() + p + pat.size(), nullptr);
+        return true;
+    };
+    double req = 0.0;
+    if (!num("elapsed_us", j.elapsed_us) ||
+        !num("goodput_mbps", j.goodput_mbps) ||
+        !num("requests_completed", req)) {
+        return false;
+    }
+    j.requests = static_cast<uint64_t>(req);
+    num("p99_us", j.p99_us); // first latency digest = the headline one
+    const std::string fpat = "\n  \"fingerprint\": \"";
+    const size_t fp = doc.find(fpat);
+    if (fp == std::string::npos) {
+        return false;
+    }
+    const size_t start = fp + fpat.size();
+    const size_t end = doc.find('"', start);
+    if (end == std::string::npos) {
+        return false;
+    }
+    j.fingerprint = doc.substr(start, end - start);
+    j.parsed = true;
+    return true;
+}
+
+/** Grid points differing only in `engine` must fingerprint-match. */
+struct CrossCheck {
+    std::string label; ///< the group's non-engine assignments
+    std::vector<const Job *> runs;
+    bool match = true;
+};
+
+std::vector<CrossCheck>
+crossCheckEngines(const std::vector<Job> &jobs)
+{
+    std::map<std::string, CrossCheck> groups;
+    for (const Job &j : jobs) {
+        if (j.get("engine").empty()) {
+            continue;
+        }
+        std::string key;
+        for (const auto &[k, v] : j.assign) {
+            if (k != "engine") {
+                key += k + "=" + v + ",";
+            }
+        }
+        CrossCheck &g = groups[key];
+        g.label = key.empty() ? "base"
+                              : key.substr(0, key.size() - 1);
+        g.runs.push_back(&j);
+    }
+    std::vector<CrossCheck> out;
+    for (auto &[key, g] : groups) {
+        if (g.runs.size() < 2) {
+            continue;
+        }
+        for (const Job *r : g.runs) {
+            if (!r->parsed ||
+                r->fingerprint != g.runs[0]->fingerprint) {
+                g.match = false;
+            }
+        }
+        out.push_back(std::move(g));
+    }
+    return out;
+}
+
+void
+writeReport(const std::string &path, const Spec &spec,
+            const std::vector<Job> &jobs,
+            const std::vector<CrossCheck> &checks, bool ok)
+{
+    analysis::JsonWriter w(/*pretty=*/true);
+    w.beginObject();
+    w.field("schema", 1);
+    w.field("sweep", spec.name);
+    w.field("ok", ok);
+    w.beginArray("runs");
+    for (const Job &j : jobs) {
+        w.beginObject();
+        w.field("name", j.name);
+        w.field("label", j.label);
+        w.field("exit_code", j.exit_code);
+        w.field("artifact", j.json);
+        w.field("log", j.log);
+        w.beginObject("params");
+        for (const auto &[k, v] : j.assign) {
+            w.field(k, v);
+        }
+        w.endObject();
+        if (j.parsed) {
+            w.field("elapsed_us", j.elapsed_us);
+            w.field("goodput_mbps", j.goodput_mbps);
+            w.field("requests_completed", j.requests);
+            w.field("p99_us", j.p99_us);
+            w.field("fingerprint", j.fingerprint);
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.beginArray("engine_cross_checks");
+    for (const CrossCheck &c : checks) {
+        w.beginObject();
+        w.field("group", c.label);
+        w.field("match", c.match);
+        w.beginArray("runs");
+        for (const Job *r : c.runs) {
+            w.beginObject();
+            w.field("name", r->name);
+            w.field("engine", r->get("engine"));
+            w.field("fingerprint", r->fingerprint);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    w.writeFile(path);
+}
+
+/** Directory holding this binary, so diablo_run resolves beside it. */
+std::string
+selfDir()
+{
+    char buf[4096];
+    const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0) {
+        return "";
+    }
+    buf[n] = '\0';
+    char *slash = std::strrchr(buf, '/');
+    if (slash == nullptr) {
+        return "";
+    }
+    *slash = '\0';
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *spec_path = nullptr;
+    std::string out_dir = "sweep-out";
+    std::string runner;
+    size_t jobs_flag = 0;
+    bool dry_run = false;
+    for (int i = 1; i < argc; ++i) {
+        auto flagValue = [&](const char *flag) -> const char * {
+            const size_t len = std::strlen(flag);
+            if (std::strncmp(argv[i], flag, len) != 0) {
+                return nullptr;
+            }
+            if (argv[i][len] == '=') {
+                return argv[i] + len + 1;
+            }
+            if (argv[i][len] == '\0') {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr, "%s needs a value\n", flag);
+                    std::exit(2);
+                }
+                return argv[++i];
+            }
+            return nullptr;
+        };
+        if (const char *v = flagValue("--out")) {
+            out_dir = v;
+            continue;
+        }
+        if (const char *v = flagValue("--runner")) {
+            runner = v;
+            continue;
+        }
+        if (const char *v = flagValue("--jobs")) {
+            jobs_flag = static_cast<size_t>(
+                std::strtoull(v, nullptr, 10));
+            continue;
+        }
+        if (std::strcmp(argv[i], "--dry-run") == 0) {
+            dry_run = true;
+            continue;
+        }
+        if (spec_path == nullptr && argv[i][0] != '-') {
+            spec_path = argv[i];
+            continue;
+        }
+        std::fprintf(stderr,
+                     "usage: %s <spec> [--out <dir>] [--jobs N] "
+                     "[--runner <diablo_run>] [--dry-run]\n", argv[0]);
+        return 2;
+    }
+    if (spec_path == nullptr) {
+        std::fprintf(stderr, "usage: %s <spec> [--out <dir>] [--jobs N] "
+                     "[--runner <diablo_run>] [--dry-run]\n", argv[0]);
+        return 2;
+    }
+
+    Spec spec = parseSpec(spec_path);
+    if (jobs_flag != 0) {
+        spec.jobs = jobs_flag;
+    }
+    if (spec.jobs == 0) {
+        spec.jobs = 1;
+    }
+    if (runner.empty()) {
+        const std::string dir = selfDir();
+        runner = dir.empty() ? "diablo_run" : dir + "/diablo_run";
+    }
+    if (mkdir(out_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+        fatal("diablo_sweep: mkdir %s: %s", out_dir.c_str(),
+              std::strerror(errno));
+    }
+
+    std::vector<Job> jobs = expandGrid(spec, out_dir, runner);
+    std::printf("sweep '%s': %zu grid points, %zu concurrent, out=%s\n",
+                spec.name.c_str(), jobs.size(), spec.jobs,
+                out_dir.c_str());
+    if (dry_run) {
+        for (const Job &j : jobs) {
+            std::string cmd;
+            for (const std::string &a : j.argv) {
+                cmd += (cmd.empty() ? "" : " ") + a;
+            }
+            std::printf("  %s\n", cmd.c_str());
+        }
+        return 0;
+    }
+
+    // Bounded-concurrency scheduler: keep up to spec.jobs children
+    // alive, reaping any finished child before launching the next.
+    size_t next = 0, running = 0, failed = 0;
+    std::map<pid_t, Job *> live;
+    while (next < jobs.size() || running > 0) {
+        while (next < jobs.size() && running < spec.jobs) {
+            Job &j = jobs[next++];
+            j.pid = spawnJob(j);
+            live[j.pid] = &j;
+            ++running;
+            std::printf("[%zu/%zu] %s: started\n", next, jobs.size(),
+                        j.label.c_str());
+            std::fflush(stdout);
+        }
+        int status = 0;
+        const pid_t pid = waitpid(-1, &status, 0);
+        if (pid < 0) {
+            fatal("diablo_sweep: waitpid: %s", std::strerror(errno));
+        }
+        auto it = live.find(pid);
+        if (it == live.end()) {
+            continue;
+        }
+        Job &j = *it->second;
+        live.erase(it);
+        --running;
+        j.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : 128;
+        if (j.exit_code != 0) {
+            ++failed;
+            std::printf("%s: FAILED (exit %d, see %s)\n",
+                        j.label.c_str(), j.exit_code, j.log.c_str());
+        } else if (!scrapeArtifact(j)) {
+            ++failed;
+            j.exit_code = -2;
+            std::printf("%s: FAILED (unreadable artifact %s)\n",
+                        j.label.c_str(), j.json.c_str());
+        }
+        std::fflush(stdout);
+    }
+
+    analysis::Table table({"run", "workload", "engine", "elapsed_ms",
+                           "goodput_mbps", "requests", "p99_us",
+                           "fingerprint"});
+    for (const Job &j : jobs) {
+        if (!j.parsed) {
+            table.addRow({j.label, j.get("workload"), j.get("engine"),
+                          "-", "-", "-", "-", "FAILED"});
+            continue;
+        }
+        table.addRow(
+            {j.label, j.get("workload"),
+             j.get("engine").empty() ? "single" : j.get("engine"),
+             analysis::Table::cell("%.1f", j.elapsed_us / 1000.0),
+             analysis::Table::cell("%.1f", j.goodput_mbps),
+             analysis::Table::cell("%llu",
+                                   static_cast<unsigned long long>(
+                                       j.requests)),
+             analysis::Table::cell("%.1f", j.p99_us), j.fingerprint});
+    }
+    table.print();
+
+    const std::vector<CrossCheck> checks = crossCheckEngines(jobs);
+    size_t mismatches = 0;
+    for (const CrossCheck &c : checks) {
+        std::printf("cross-check %s: %s", c.label.c_str(),
+                    c.match ? "MATCH" : "MISMATCH");
+        for (const Job *r : c.runs) {
+            std::printf(" %s=%s", r->get("engine").c_str(),
+                        r->parsed ? r->fingerprint.c_str() : "?");
+        }
+        std::printf("\n");
+        mismatches += c.match ? 0 : 1;
+    }
+
+    const bool ok = failed == 0 && mismatches == 0;
+    writeReport(out_dir + "/report.json", spec, jobs, checks, ok);
+    std::printf("report: %s/report.json (%zu runs, %zu failed, "
+                "%zu fingerprint mismatches)\n",
+                out_dir.c_str(), jobs.size(), failed, mismatches);
+    return ok ? 0 : 1;
+}
