@@ -1,6 +1,8 @@
 #include "analysis/artifact.hh"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "analysis/json_writer.hh"
@@ -127,6 +129,10 @@ RunArtifact::toJson() const
     w.beginObject();
     w.field("schema", kSchemaVersion);
     w.field("workload", workload);
+    w.field("status", status);
+    if (!interrupt_cause.empty()) {
+        w.field("interrupt_cause", interrupt_cause);
+    }
     w.beginObject("engine");
     w.field("name", engine);
     w.field("threads_requested", threads_requested);
@@ -219,15 +225,91 @@ RunArtifact::toJson() const
 void
 RunArtifact::writeJson(const std::string &path) const
 {
-    FILE *f = std::fopen(path.c_str(), "w");
+    atomicWriteFile(path, toJson());
+}
+
+RunArtifact::Validation
+RunArtifact::validate(const std::string &path)
+{
+    Validation v;
+    std::FILE *f = std::fopen(path.c_str(), "r");
     if (f == nullptr) {
-        fatal("RunArtifact: cannot open '%s' for writing", path.c_str());
+        v.error = strprintf("cannot read '%s': %s", path.c_str(),
+                            std::strerror(errno));
+        return v;
     }
-    const std::string s = toJson();
-    if (std::fwrite(s.data(), 1, s.size(), f) != s.size() ||
-        std::fputc('\n', f) == EOF || std::fclose(f) != 0) {
-        fatal("RunArtifact: short write to '%s'", path.c_str());
+    std::string doc;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) != 0) {
+        doc.append(buf, n);
     }
+    std::fclose(f);
+
+    // Whole-document check: our pretty writer always produces
+    // "{...}\n".  A partial write (possible only for debris predating
+    // atomic writes, or a foreign writer) fails here.
+    size_t end = doc.find_last_not_of(" \t\r\n");
+    if (doc.empty() || doc[0] != '{' || end == std::string::npos ||
+        doc[end] != '}') {
+        v.error = strprintf("'%s' is not a complete JSON object "
+                            "(truncated write?)", path.c_str());
+        return v;
+    }
+
+    auto stringField = [&doc](const char *key) -> std::string {
+        const std::string pat = std::string("\"") + key + "\": \"";
+        const size_t p = doc.find(pat);
+        if (p == std::string::npos) {
+            return "";
+        }
+        const size_t start = p + pat.size();
+        const size_t q = doc.find('"', start);
+        return q == std::string::npos ? "" : doc.substr(start, q - start);
+    };
+
+    const std::string schema_pat = "\"schema\": ";
+    const size_t sp = doc.find(schema_pat);
+    if (sp == std::string::npos) {
+        v.error = strprintf("'%s' has no schema field", path.c_str());
+        return v;
+    }
+    const long schema =
+        std::strtol(doc.c_str() + sp + schema_pat.size(), nullptr, 10);
+    if (schema != kSchemaVersion) {
+        v.error = strprintf("'%s' has schema %ld, expected %d",
+                            path.c_str(), schema, kSchemaVersion);
+        return v;
+    }
+
+    // Artifacts predating the status field were only ever written on
+    // run completion, so absence means "ok".
+    v.status = stringField("status");
+    if (v.status.empty()) {
+        v.status = "ok";
+    }
+
+    // The run fingerprint is the only one at top-level indentation.
+    const std::string fpat = "\n  \"fingerprint\": \"";
+    const size_t fp = doc.find(fpat);
+    if (fp != std::string::npos) {
+        const size_t start = fp + fpat.size();
+        const size_t q = doc.find('"', start);
+        if (q != std::string::npos) {
+            v.fingerprint = doc.substr(start, q - start);
+        }
+    }
+    if (v.fingerprint.empty()) {
+        v.error = strprintf("'%s' has no run fingerprint", path.c_str());
+        return v;
+    }
+    if (v.status != "ok") {
+        v.error = strprintf("'%s' is a partial artifact (status '%s')",
+                            path.c_str(), v.status.c_str());
+        return v;
+    }
+    v.ok = true;
+    return v;
 }
 
 } // namespace analysis

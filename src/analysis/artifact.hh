@@ -61,7 +61,19 @@ struct RunArtifact {
     static constexpr int kSchemaVersion = 1;
 
     std::string workload; ///< "memcached" | "incast"
-    std::string engine;   ///< "single" | "seq" | "par"
+    /**
+     * "ok" for a run that completed, "interrupted" for a partial
+     * artifact finalized from a SIGINT/SIGTERM handler or a watchdog
+     * trip.  Interrupted artifacts carry results-so-far and a
+     * fingerprint-so-far; they are real JSON (the writer path is the
+     * same) but validate() rejects them, so resumable sweeps re-run
+     * those grid points.  Never folded into the fingerprint: a clean
+     * run's digest is unchanged by the existence of this field.
+     */
+    std::string status = "ok";
+    /** Why an interrupted run stopped ("SIGTERM", "watchdog-stall"). */
+    std::string interrupt_cause;
+    std::string engine; ///< "single" | "seq" | "par"
     uint64_t threads_requested = 0;
     uint64_t partitions = 1;
     uint64_t workers = 1;
@@ -133,8 +145,31 @@ struct RunArtifact {
     /** Full JSON document (pretty-printed). */
     std::string toJson() const;
 
-    /** Write toJson() to @p path (fatal on I/O error). */
+    /**
+     * Write toJson() to @p path crash-consistently (temp file in the
+     * target directory, fsync, rename; fatal on I/O error).  A file at
+     * @p path is therefore always a whole document — truncated debris
+     * can only exist under a .tmp name a crash left behind.
+     */
     void writeJson(const std::string &path) const;
+
+    /**
+     * Is the file at @p path a complete artifact of a *finished* run?
+     * Distinguishes the three things a run directory can contain at a
+     * given artifact name: a complete "ok" artifact (valid — a resumed
+     * sweep skips this grid point), an "interrupted" partial artifact
+     * (invalid for resume, but status tells the caller why), and
+     * debris (unparseable, wrong schema, or truncated — which atomic
+     * writes make impossible for *our* writers, but a sweep directory
+     * outlives any one process).
+     */
+    struct Validation {
+        bool ok = false;      ///< complete artifact of a finished run
+        std::string status;   ///< "ok"/"interrupted"/"" (unreadable)
+        std::string fingerprint; ///< "0x..." hex string when present
+        std::string error;    ///< human-readable reason when !ok
+    };
+    static Validation validate(const std::string &path);
 };
 
 } // namespace analysis

@@ -1,7 +1,11 @@
 #include "analysis/json_writer.hh"
 
-#include <cstdio>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cinttypes>
+#include <cstdio>
+#include <cstring>
 
 #include "core/log.hh"
 
@@ -286,17 +290,42 @@ JsonWriter::str() const
 }
 
 void
+atomicWriteFile(const std::string &path, const std::string &content)
+{
+    // The temporary must live in the target's directory: rename() is
+    // only atomic within one filesystem, and the whole point is that a
+    // crash at any instant leaves either the old file or the new one.
+    const std::string tmp =
+        path + strprintf(".%d.tmp", static_cast<int>(getpid()));
+    FILE *f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr) {
+        fatal("atomicWriteFile: cannot open '%s' for writing: %s",
+              tmp.c_str(), std::strerror(errno));
+    }
+    const bool wrote =
+        std::fwrite(content.data(), 1, content.size(), f) ==
+            content.size() &&
+        std::fputc('\n', f) != EOF && std::fflush(f) == 0 &&
+        fsync(fileno(f)) == 0;
+    if (!wrote || std::fclose(f) != 0) {
+        if (!wrote) { // the ||'s short circuit left the stream open
+            std::fclose(f);
+        }
+        unlink(tmp.c_str());
+        fatal("atomicWriteFile: short write to '%s': %s", tmp.c_str(),
+              std::strerror(errno));
+    }
+    if (rename(tmp.c_str(), path.c_str()) != 0) {
+        unlink(tmp.c_str());
+        fatal("atomicWriteFile: rename '%s' -> '%s': %s", tmp.c_str(),
+              path.c_str(), std::strerror(errno));
+    }
+}
+
+void
 JsonWriter::writeFile(const std::string &path) const
 {
-    FILE *f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-        fatal("JsonWriter: cannot open '%s' for writing", path.c_str());
-    }
-    const std::string &s = str();
-    if (std::fwrite(s.data(), 1, s.size(), f) != s.size() ||
-        std::fputc('\n', f) == EOF || std::fclose(f) != 0) {
-        fatal("JsonWriter: short write to '%s'", path.c_str());
-    }
+    atomicWriteFile(path, str());
 }
 
 } // namespace analysis

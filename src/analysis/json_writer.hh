@@ -27,6 +27,18 @@ namespace analysis {
 std::string jsonEscape(const std::string &s);
 
 /**
+ * Crash-consistent file replacement: write @p content (plus a trailing
+ * newline) to a temporary file *in the same directory* as @p path,
+ * fsync it, then rename() it over @p path.  A reader therefore only
+ * ever observes the old file, the new file, or (for a fresh path)
+ * nothing — never a truncated document that looks complete.  The rename
+ * is what makes `diablo_sweep --resume` sound: an artifact that exists
+ * at its final name was written whole.  Fatal on any I/O failure, after
+ * unlinking the temporary.
+ */
+void atomicWriteFile(const std::string &path, const std::string &content);
+
+/**
  * Nesting-aware JSON builder.  Keys are only legal inside objects,
  * bare values only inside arrays (or as the single root value), and
  * str() is only legal once every container is closed.
@@ -66,8 +78,10 @@ class JsonWriter {
     /** Finished document; fatal while a container is still open. */
     const std::string &str() const;
 
-    /** Write str() (plus a trailing newline) to @p path; fatal on I/O
-     *  failure. */
+    /**
+     * Write str() (plus a trailing newline) to @p path atomically (see
+     * atomicWriteFile); fatal on I/O failure.
+     */
     void writeFile(const std::string &path) const;
 
   private:

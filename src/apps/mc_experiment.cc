@@ -163,7 +163,17 @@ McExperiment::run(bool parallel)
             probe_->installPeriodic();
         }
         const SimTime start = sim_->now();
+        uint64_t events_between_pulses = 0;
         while (!all_done()) {
+            // Pulse every few thousand events: cheap enough to leave on
+            // (one counter increment per event) yet responsive enough
+            // that a SIGTERM finalizes within milliseconds of wall
+            // clock.
+            if (pulse_ && (events_between_pulses++ & 0xfff) == 0 &&
+                pulse_()) {
+                aborted_ = true;
+                break;
+            }
             if (sim_->idle()) {
                 panic("McExperiment: deadlock — clients not done, "
                       "no events");
@@ -182,6 +192,10 @@ McExperiment::run(bool parallel)
         SimTime until = start;
         uint64_t last_events = ps_->totalExecutedEvents();
         while (!all_done()) {
+            if (pulse_ && pulse_()) {
+                aborted_ = true;
+                break;
+            }
             if (until - start >= kCap) {
                 panic("McExperiment: clients not done after %s of "
                       "simulated time", kCap.str().c_str());

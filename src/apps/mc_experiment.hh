@@ -12,6 +12,7 @@
  * distributions (overall and per hop class).
  */
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -115,6 +116,26 @@ class McExperiment {
      */
     void attachTelemetry(sim::TelemetryProbe *probe) { probe_ = probe; }
 
+    /**
+     * Periodic run-loop hook for unattended operation, called at safe
+     * points where no engine worker is running: every outer window on
+     * a sharded run, every few thousand events single-sim.  Return
+     * true to abort the run early — run() then folds whatever the
+     * clients measured so far into result() and returns, with
+     * aborted() set.  diablo_run uses this to honor SIGINT/SIGTERM
+     * (finalizing a partial artifact) and to pump its watchdog's
+     * progress counter; the hook must only read model state, so an
+     * un-tripped pulse never changes simulated results.
+     */
+    void setPulse(std::function<bool()> pulse)
+    {
+        pulse_ = std::move(pulse);
+    }
+
+    /** True when a pulse hook stopped the run before every client
+     *  finished; result() then holds the partial fold. */
+    bool aborted() const { return aborted_; }
+
   private:
     /** Pick the experiment's server nodes (shared ctor tail). */
     void placeServers();
@@ -122,6 +143,8 @@ class McExperiment {
     Simulator *sim_ = nullptr;         ///< non-null iff single-sim
     fame::PartitionSet *ps_ = nullptr; ///< non-null iff sharded
     sim::TelemetryProbe *probe_ = nullptr; ///< optional, not owned
+    std::function<bool()> pulse_;      ///< optional abort/progress hook
+    bool aborted_ = false;
     McExperimentParams params_;
     std::unique_ptr<sim::Cluster> cluster_;
     std::vector<net::NodeId> server_nodes_;

@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <string>
 
@@ -146,6 +151,111 @@ TEST(RunArtifact, JsonCarriesEverySection)
     std::snprintf(want, sizeof(want), "\"0x%016llx\"",
                   static_cast<unsigned long long>(a.fingerprint()));
     EXPECT_NE(j.find(want), std::string::npos);
+}
+
+TEST(RunArtifactValidate, AcceptsACompleteWrittenArtifact)
+{
+    const std::string path =
+        testing::TempDir() + "diablo_validate_ok.json";
+    RunArtifact a = sampleArtifact();
+    a.writeJson(path);
+
+    const RunArtifact::Validation v = RunArtifact::validate(path);
+    EXPECT_TRUE(v.ok) << v.error;
+    EXPECT_EQ(v.status, "ok");
+    char want[32];
+    std::snprintf(want, sizeof(want), "0x%016llx",
+                  static_cast<unsigned long long>(a.fingerprint()));
+    EXPECT_EQ(v.fingerprint, want);
+    std::remove(path.c_str());
+}
+
+TEST(RunArtifactValidate, AtomicWriteLeavesNoTempDebris)
+{
+    const std::string dir = testing::TempDir() + "diablo_atomic_dir";
+    ASSERT_TRUE(mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST);
+    const std::string path = dir + "/a.json";
+    sampleArtifact().writeJson(path);
+    // Overwrite in place: still valid, and the directory holds only
+    // the final artifact (the temp name was renamed away).
+    sampleArtifact().writeJson(path);
+    EXPECT_TRUE(RunArtifact::validate(path).ok);
+    DIR *d = opendir(dir.c_str());
+    ASSERT_NE(d, nullptr);
+    size_t entries = 0;
+    while (struct dirent *e = readdir(d)) {
+        if (e->d_name[0] != '.') {
+            ++entries;
+            EXPECT_EQ(std::string(e->d_name), "a.json");
+        }
+    }
+    closedir(d);
+    EXPECT_EQ(entries, 1u);
+    std::remove(path.c_str());
+    rmdir(dir.c_str());
+}
+
+TEST(RunArtifactValidate, RejectsInterruptedPartials)
+{
+    const std::string path =
+        testing::TempDir() + "diablo_validate_partial.json";
+    RunArtifact a = sampleArtifact();
+    a.status = "interrupted";
+    a.interrupt_cause = "SIGTERM";
+    a.writeJson(path);
+
+    const RunArtifact::Validation v = RunArtifact::validate(path);
+    EXPECT_FALSE(v.ok);
+    EXPECT_EQ(v.status, "interrupted");
+    // The partial still carries its fingerprint-so-far and says why
+    // it stopped.
+    EXPECT_FALSE(v.fingerprint.empty());
+    EXPECT_NE(v.error.find("interrupted"), std::string::npos);
+    EXPECT_NE(a.toJson().find("\"interrupt_cause\": \"SIGTERM\""),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(RunArtifactValidate, RejectsTruncatedDebris)
+{
+    const std::string path =
+        testing::TempDir() + "diablo_validate_trunc.json";
+    RunArtifact a = sampleArtifact();
+    a.writeJson(path);
+    // Chop the file mid-way: simulates a non-atomic writer dying (or
+    // a torn copy).  validate must flag it, not mis-parse it.
+    const std::string doc = a.toJson();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(doc.data(), 1, doc.size() / 2, f);
+    std::fclose(f);
+
+    const RunArtifact::Validation v = RunArtifact::validate(path);
+    EXPECT_FALSE(v.ok);
+    EXPECT_NE(v.error.find("not a complete JSON object"),
+              std::string::npos)
+        << v.error;
+    std::remove(path.c_str());
+}
+
+TEST(RunArtifactValidate, RejectsMissingFileAndWrongSchema)
+{
+    const RunArtifact::Validation missing =
+        RunArtifact::validate(testing::TempDir() + "diablo_nope.json");
+    EXPECT_FALSE(missing.ok);
+    EXPECT_NE(missing.error.find("cannot read"), std::string::npos);
+
+    const std::string path =
+        testing::TempDir() + "diablo_validate_schema.json";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\n  \"schema\": 999,\n  \"fingerprint\": \"0x0\"\n}\n",
+               f);
+    std::fclose(f);
+    const RunArtifact::Validation v = RunArtifact::validate(path);
+    EXPECT_FALSE(v.ok);
+    EXPECT_NE(v.error.find("schema"), std::string::npos) << v.error;
+    std::remove(path.c_str());
 }
 
 } // namespace

@@ -204,16 +204,24 @@ def check_sweep(path):
         return 1
 
     failed = False
+    # A run is healthy when its status says so: "ok", "retried" (flaky
+    # but recovered), or "skipped-resume" (validated artifact carried
+    # over by --resume).  Older reports without a status field fall
+    # back to the exit-code check.
+    healthy = {"ok", "retried", "skipped-resume"}
     for run in runs:
         name = run.get("name", "?")
         code = run.get("exit_code", -1)
         fp = run.get("fingerprint")
-        if code != 0 or not fp:
+        status = run.get("status")
+        bad = (status not in healthy) if status is not None else code != 0
+        if bad or not fp:
             print(f"bench_guard: {name} FAILED "
-                  f"(exit={code}, fingerprint={fp})", file=sys.stderr)
+                  f"(status={status}, exit={code}, fingerprint={fp})",
+                  file=sys.stderr)
             failed = True
         else:
-            print(f"bench_guard: {name} ok "
+            print(f"bench_guard: {name} {status or 'ok'} "
                   f"elapsed_ms={run.get('elapsed_us', 0) / 1000:.1f} "
                   f"fingerprint={fp}")
     for check in checks:

@@ -40,6 +40,16 @@
  * .jsonl).  Sampling only reads model state on the simulated clock, so
  * enabling it never changes simulated results or fingerprints.
  *
+ * Unattended operation: SIGINT/SIGTERM finalize a *partial* --json
+ * artifact (`"status": "interrupted"`, results-so-far, fingerprint-so-
+ * far), flush telemetry, and exit with core::kExitInterrupted (75).
+ * run.deadline=<s> caps the run's wall clock and run.stall=<s> trips
+ * when the engine makes no progress for that long; either dumps a
+ * best-effort engine diagnostic (sim time, per-partition next-event
+ * minima, pool ledgers), requests the same cooperative finalize, and
+ * hard-exits with core::kExitWatchdog (76) if the run stays wedged past
+ * run.grace=<s> (default 5).
+ *
  * --mem-report prints the memory-diet ledger after the run: peak RSS,
  * bytes per simulated node, how many nodes were actually materialized
  * (sim.lazy_servers=true defers node construction to first use), and
@@ -61,8 +71,10 @@
 #include "apps/mc_experiment.hh"
 #include "analysis/artifact.hh"
 #include "analysis/report.hh"
+#include "core/interrupt.hh"
 #include "sim/fault.hh"
 #include "sim/telemetry.hh"
+#include "sim/watchdog.hh"
 
 using namespace diablo;
 
@@ -294,6 +306,136 @@ makeProbe(const Config &cfg, sim::Cluster &cluster, const RunOpts &opts)
 }
 
 /**
+ * Build the run watchdog when run.deadline / run.stall (wall-clock
+ * seconds) are configured.  The diagnostic dump reads engine state
+ * best-effort — the run may be wedged mid-quantum, so the values are
+ * for post-mortems, not for consumption by tools.
+ */
+std::unique_ptr<sim::Watchdog>
+makeWatchdog(const Config &cfg, sim::Cluster &cluster)
+{
+    sim::Watchdog::Params wp;
+    wp.deadline_s = cfg.getDouble("run.deadline", 0.0);
+    wp.stall_s = cfg.getDouble("run.stall", 0.0);
+    wp.grace_s = cfg.getDouble("run.grace", 5.0);
+    if (!wp.enabled()) {
+        return nullptr;
+    }
+    auto diag = [&cluster](const char *reason) {
+        std::fprintf(stderr, "watchdog: engine state at %s trip "
+                     "(best effort):\n", reason);
+        fame::PartitionSet *ps = cluster.partitionSet();
+        if (ps != nullptr) {
+            std::fprintf(stderr,
+                         "  quanta=%llu total_events=%llu\n",
+                         static_cast<unsigned long long>(
+                             ps->quantaExecuted()),
+                         static_cast<unsigned long long>(
+                             ps->totalExecutedEvents()));
+            for (size_t i = 0; i < ps->size(); ++i) {
+                Simulator &p = ps->partition(i);
+                std::fprintf(stderr,
+                             "  part %zu: now=%s next_event=%s "
+                             "events=%llu\n",
+                             i, p.now().str().c_str(),
+                             p.nextEventTime().str().c_str(),
+                             static_cast<unsigned long long>(
+                                 p.executedEvents()));
+            }
+        } else {
+            Simulator &s = cluster.sim();
+            std::fprintf(stderr,
+                         "  now=%s next_event=%s events=%llu\n",
+                         s.now().str().c_str(),
+                         s.nextEventTime().str().c_str(),
+                         static_cast<unsigned long long>(
+                             s.executedEvents()));
+        }
+        const auto pools = cluster.poolStats();
+        for (size_t i = 0; i < pools.size(); ++i) {
+            std::fprintf(stderr,
+                         "  pool %zu: makes=%llu returns=%llu "
+                         "heap=%llu high_water=%llu\n", i,
+                         static_cast<unsigned long long>(pools[i].makes),
+                         static_cast<unsigned long long>(
+                             pools[i].returns),
+                         static_cast<unsigned long long>(
+                             pools[i].heap_allocs),
+                         static_cast<unsigned long long>(
+                             pools[i].high_water));
+        }
+    };
+    auto wd = std::make_unique<sim::Watchdog>(wp, std::move(diag));
+    wd->arm();
+    return wd;
+}
+
+/**
+ * Single-Simulator run control: a self-rescheduling read-only event
+ * (same pattern as TelemetryProbe::installPeriodic) that pumps the
+ * watchdog's progress counter and answers an interrupt request by
+ * stopping the Simulator so the driver can finalize a partial
+ * artifact.  Stops rescheduling once @p done reports completion so
+ * run() can drain the queue.  Only reads model state — simulated
+ * results are identical with or without it (engine-internal event
+ * counts are excluded from fingerprints).
+ */
+void
+installRunControl(Simulator &sim, sim::Watchdog *wd,
+                  std::function<bool()> done)
+{
+    struct Tick {
+        Simulator *sim;
+        sim::Watchdog *wd;
+        std::function<bool()> done;
+
+        void
+        operator()()
+        {
+            if (wd != nullptr) {
+                wd->noteProgress(sim->executedEvents());
+            }
+            if (core::interruptRequested()) {
+                sim->stop();
+                return;
+            }
+            if (done && done()) {
+                return;
+            }
+            sim->schedule(SimTime::ms(10), Tick{*this});
+        }
+    };
+    sim.schedule(SimTime::ms(10), Tick{&sim, wd, std::move(done)});
+}
+
+void writeArtifact(const analysis::RunArtifact &a, const RunOpts &opts);
+
+/**
+ * The run was cut short (signal or watchdog): finalize the partial
+ * artifact with status "interrupted" + the cause, flush the telemetry
+ * stream, and map the cause to the exit code contract (75 signal, 76
+ * watchdog).
+ */
+int
+finalizeInterrupted(analysis::RunArtifact &a, const RunOpts &opts,
+                    sim::TelemetryProbe *probe)
+{
+    a.status = "interrupted";
+    a.interrupt_cause = core::interruptCauseName();
+    if (probe != nullptr) {
+        probe->flush();
+    }
+    writeArtifact(a, opts);
+    std::fprintf(stderr, "run interrupted (%s); partial artifact "
+                 "finalized\n", a.interrupt_cause.c_str());
+    const int cause = core::interruptCause();
+    return cause == core::kCauseWatchdogDeadline ||
+                   cause == core::kCauseWatchdogStall
+               ? core::kExitWatchdog
+               : core::kExitInterrupted;
+}
+
+/**
  * Shared artifact sections: engine identity, per-partition event/pool
  * ledgers, the datapath + network counter groups, fault outcome, the
  * memory report, telemetry metadata, and the resolved configuration.
@@ -439,7 +581,21 @@ runMemcached(const Config &cfg, const sim::FaultPlan &plan,
         });
         exp->attachTelemetry(probe.get());
     }
+    std::unique_ptr<sim::Watchdog> wd = makeWatchdog(cfg, exp->cluster());
+    exp->setPulse([&exp, wd = wd.get()] {
+        if (wd != nullptr) {
+            fame::PartitionSet *eps = exp->cluster().partitionSet();
+            wd->noteProgress(eps != nullptr
+                                 ? eps->totalExecutedEvents()
+                                 : exp->cluster().sim()
+                                       .executedEvents());
+        }
+        return core::interruptRequested();
+    });
     exp->run(eng.engine == Engine::Par);
+    if (wd != nullptr) {
+        wd->disarm();
+    }
     const auto &r = exp->result();
 
     std::printf("nodes=%u servers=%u clients=%u proto=%s kernel=%s\n",
@@ -485,7 +641,7 @@ runMemcached(const Config &cfg, const sim::FaultPlan &plan,
         printFaultOutcome(exp->cluster());
     }
 
-    if (opts.json_path != nullptr) {
+    if (opts.json_path != nullptr || exp->aborted()) {
         analysis::RunArtifact a;
         a.workload = "memcached";
         a.elapsed_us = r.elapsed.asMicros();
@@ -510,6 +666,9 @@ runMemcached(const Config &cfg, const sim::FaultPlan &plan,
         fillCommonArtifact(a, exp->cluster(), cfg, opts, plan,
                            probe.get());
         a.config.set("resolved.proto", p.server.udp ? "UDP" : "TCP");
+        if (exp->aborted()) {
+            return finalizeInterrupted(a, opts, probe.get());
+        }
         writeArtifact(a, opts);
     }
     return 0;
@@ -575,11 +734,14 @@ runIncast(const Config &cfg, const sim::FaultPlan &plan,
                 }
             });
     }
+    std::unique_ptr<sim::Watchdog> wd = makeWatchdog(cfg, *cluster);
     if (sim != nullptr) {
         if (probe != nullptr) {
             probe->installPeriodic(
                 [&app] { return app.result().done; });
         }
+        installRunControl(*sim, wd.get(),
+                          [&app] { return app.result().done; });
         sim->run();
     } else {
         // The PartitionSet runs to a time bound; advance in windows
@@ -595,12 +757,16 @@ runIncast(const Config &cfg, const sim::FaultPlan &plan,
                 ps->runSequential(w);
             }
         };
-        while (!app.result().done && t < SimTime::sec(60)) {
+        while (!app.result().done && t < SimTime::sec(60) &&
+               !core::interruptRequested()) {
             t = t + SimTime::ms(250);
             if (probe != nullptr) {
                 probe->driveTo(t, step);
             } else {
                 step(t);
+            }
+            if (wd != nullptr) {
+                wd->noteProgress(ps->totalExecutedEvents());
             }
         }
         std::printf("engine=%s partitions=%zu workers=%zu\n",
@@ -609,7 +775,12 @@ runIncast(const Config &cfg, const sim::FaultPlan &plan,
                     eng.engine == Engine::Par ? ps->lastRunWorkers()
                                               : size_t{1});
     }
-    if (!app.result().done) {
+    if (wd != nullptr) {
+        wd->disarm();
+    }
+    const bool interrupted =
+        !app.result().done && core::interruptRequested();
+    if (!app.result().done && !interrupted) {
         std::fprintf(stderr, "incast did not complete\n");
         return 1;
     }
@@ -636,7 +807,7 @@ runIncast(const Config &cfg, const sim::FaultPlan &plan,
         printFaultOutcome(*cluster);
     }
 
-    if (opts.json_path != nullptr) {
+    if (opts.json_path != nullptr || interrupted) {
         analysis::RunArtifact a;
         a.workload = "incast";
         a.elapsed_us = r.elapsed.asMicros();
@@ -653,6 +824,9 @@ runIncast(const Config &cfg, const sim::FaultPlan &plan,
             {"iterations", ip.iterations},
         };
         fillCommonArtifact(a, *cluster, cfg, opts, plan, probe.get());
+        if (interrupted) {
+            return finalizeInterrupted(a, opts, probe.get());
+        }
         writeArtifact(a, opts);
     }
     return 0;
@@ -742,6 +916,10 @@ main(int argc, char **argv)
         }
     }
     const sim::FaultPlan plan = makeFaultPlan(cfg, opts.plan_file);
+    // Install before any simulation work so even an immediate SIGTERM
+    // takes the finalize-partial-artifact path rather than killing the
+    // process artifact-less.
+    core::installInterruptHandlers();
     if (std::strcmp(argv[1], "memcached") == 0) {
         return runMemcached(cfg, plan, opts);
     }

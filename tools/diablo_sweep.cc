@@ -24,18 +24,44 @@
  * overrides); `sweep.name` names the run directory's report.  Every
  * other key is passed through as a model override.
  *
+ * Unattended operation: the sweep is built to survive wedged, killed,
+ * and flaky grid points without torching the campaign.
+ *  - `sweep.timeout = <s>` (--timeout overrides) bounds each job's
+ *    wall clock; an overdue job gets SIGTERM — letting diablo_run
+ *    finalize a partial artifact — then SIGKILL after `sweep.grace`
+ *    seconds (default 5).
+ *  - `sweep.retries = <n>` re-runs a failed or timed-out point up to
+ *    n more times with exponential backoff (`sweep.backoff` seconds
+ *    base, default 1).  Retry attempts write to per-attempt log and
+ *    artifact paths; a winning retry's artifact is renamed onto the
+ *    canonical path, so downstream consumers never see attempt suffixes.
+ *  - `--resume <dir>` re-opens a previous run directory and skips
+ *    every grid point whose artifact passes RunArtifact::validate —
+ *    only missing, truncated, or interrupted points re-run, and the
+ *    seq≡par fingerprint cross-check spans skipped and fresh runs
+ *    alike.
+ *  - fork() EAGAIN backs off and retries instead of aborting the
+ *    sweep, and the scheduler's waitpid tolerates EINTR.
+ *
  * Determinism cross-check: grid points identical except for `engine`
  * form a group, and their artifact fingerprints must be equal — the
- * seq≡par contract checked end-to-end through the CLI.  Any job
- * failure or fingerprint mismatch makes the sweep exit non-zero.
+ * seq≡par contract checked end-to-end through the CLI.  Exit code:
+ * 0 all green; 1 on a fingerprint mismatch (determinism bug — never
+ * masked); core::kExitSweepPartial (3) when some jobs failed or timed
+ * out but the rest completed; core::kExitInterrupted when the sweep
+ * itself was interrupted (children are SIGTERMed and reaped first).
  */
 
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <sys/wait.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -43,13 +69,17 @@
 #include <string>
 #include <vector>
 
+#include "analysis/artifact.hh"
 #include "analysis/json_writer.hh"
 #include "analysis/report.hh"
+#include "core/interrupt.hh"
 #include "core/log.hh"
 
 using namespace diablo;
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 std::string
 trimmed(const std::string &s)
@@ -73,6 +103,10 @@ struct Spec {
     std::vector<Axis> axes;
     size_t jobs = 4;
     std::string name = "sweep";
+    double timeout_s = 0.0; ///< per-job wall-clock bound; 0 = none
+    double grace_s = 5.0;   ///< SIGTERM → SIGKILL escalation delay
+    size_t retries = 0;     ///< extra attempts per failed grid point
+    double backoff_s = 1.0; ///< retry delay base, doubled per attempt
 };
 
 Spec
@@ -129,6 +163,23 @@ parseSpec(const std::string &path)
             spec.name = a.values[0];
             continue;
         }
+        if (a.key == "sweep.timeout") {
+            spec.timeout_s = std::strtod(a.values[0].c_str(), nullptr);
+            continue;
+        }
+        if (a.key == "sweep.grace") {
+            spec.grace_s = std::strtod(a.values[0].c_str(), nullptr);
+            continue;
+        }
+        if (a.key == "sweep.retries") {
+            spec.retries = static_cast<size_t>(
+                std::strtoull(a.values[0].c_str(), nullptr, 10));
+            continue;
+        }
+        if (a.key == "sweep.backoff") {
+            spec.backoff_s = std::strtod(a.values[0].c_str(), nullptr);
+            continue;
+        }
         for (const Axis &prev : spec.axes) {
             if (prev.key == a.key) {
                 fatal("diablo_sweep: %s:%zu: duplicate key '%s'",
@@ -153,9 +204,9 @@ struct Job {
     std::vector<std::pair<std::string, std::string>> assign;
     std::string label;    ///< axis assignments only ("base" if none)
     std::string name;     ///< filesystem-safe run name
-    std::string json;     ///< artifact path
-    std::string log;      ///< combined stdout+stderr path
-    std::vector<std::string> argv;
+    std::string json;     ///< canonical artifact path
+    std::string log;      ///< log of the attempt that produced the result
+    std::vector<std::string> argv; ///< canonical argv (attempt 1 paths)
     pid_t pid = -1;
     int exit_code = -1;
 
@@ -166,6 +217,17 @@ struct Job {
     double goodput_mbps = 0.0;
     double p99_us = 0.0;
     uint64_t requests = 0;
+
+    // Fault-tolerance state.
+    std::string status;        ///< ok|failed|timeout|retried|skipped-resume
+    size_t attempts = 0;       ///< spawn attempts made so far
+    std::string attempt_json;  ///< this attempt's artifact path
+    std::string attempt_log;   ///< this attempt's log path
+    bool timed_out = false;    ///< this attempt hit sweep.timeout
+    bool term_sent = false;    ///< SIGTERM already sent this attempt
+    Clock::time_point deadline;      ///< valid iff timeout_s > 0
+    Clock::time_point kill_at;       ///< valid iff term_sent
+    Clock::time_point earliest_start; ///< retry backoff gate
 
     std::string
     get(const std::string &key) const
@@ -254,7 +316,46 @@ expandGrid(const Spec &spec, const std::string &out_dir,
     return jobs;
 }
 
-/** fork/exec one job with stdout+stderr redirected to its log file. */
+/**
+ * Set the attempt-local artifact/log paths for attempt @p attempt
+ * (1-based).  Attempt 1 uses the canonical paths; retries get a
+ * ".rN" suffix so a retry never races the previous attempt's files,
+ * and a winning retry's artifact is renamed onto the canonical path.
+ */
+void
+setAttemptPaths(Job &j, size_t attempt)
+{
+    if (attempt <= 1) {
+        j.attempt_json = j.json;
+        j.attempt_log = j.log;
+        return;
+    }
+    char suf[32];
+    std::snprintf(suf, sizeof(suf), ".r%zu", attempt - 1);
+    const size_t jdot = j.json.rfind(".json");
+    const size_t ldot = j.log.rfind(".log");
+    j.attempt_json = j.json.substr(0, jdot) + suf + ".json";
+    j.attempt_log = j.log.substr(0, ldot) + suf + ".log";
+}
+
+/** Sleep @p ms milliseconds, restarting across EINTR. */
+void
+sleepMs(long ms)
+{
+    struct timespec ts;
+    ts.tv_sec = ms / 1000;
+    ts.tv_nsec = (ms % 1000) * 1000000L;
+    while (nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+    }
+}
+
+/**
+ * fork/exec one job with stdout+stderr redirected to its attempt's
+ * log file.  A transient fork EAGAIN (pid/thread pressure from the
+ * concurrent children) backs off and retries instead of killing the
+ * whole sweep; a persistent failure returns -1 and the caller treats
+ * it like a failed attempt, feeding the normal retry machinery.
+ */
 pid_t
 spawnJob(const Job &j)
 {
@@ -262,21 +363,48 @@ spawnJob(const Job &j)
     // buffered output into its log (or the terminal).
     std::fflush(stdout);
     std::fflush(stderr);
-    const pid_t pid = fork();
-    if (pid < 0) {
-        fatal("diablo_sweep: fork: %s", std::strerror(errno));
+    pid_t pid = -1;
+    for (int attempt = 0;; ++attempt) {
+        pid = fork();
+        if (pid >= 0) {
+            break;
+        }
+        if (errno != EAGAIN || attempt >= 6) {
+            std::fprintf(stderr, "diablo_sweep: fork: %s\n",
+                         std::strerror(errno));
+            return -1;
+        }
+        sleepMs(50L << attempt); // 50ms..1.6s, ~3s total
     }
     if (pid != 0) {
         return pid;
     }
-    FILE *log = std::freopen(j.log.c_str(), "w", stdout);
-    if (log == nullptr) {
-        std::_Exit(127);
+    // Child.  Keep a copy of the original stderr (close-on-exec so it
+    // never leaks into diablo_run) to report redirection failures —
+    // otherwise a bad log path exits 127 with no trace anywhere.
+    const int saved_err = dup(STDERR_FILENO);
+    if (saved_err >= 0) {
+        fcntl(saved_err, F_SETFD, FD_CLOEXEC);
     }
-    dup2(fileno(stdout), fileno(stderr));
+    auto childDie = [&](const char *what) {
+        if (saved_err >= 0) {
+            dprintf(saved_err, "diablo_sweep: %s: %s: %s\n", j.name.c_str(),
+                    what, std::strerror(errno));
+        }
+        std::_Exit(127);
+    };
+    if (std::freopen(j.attempt_log.c_str(), "w", stdout) == nullptr) {
+        childDie(("cannot open log " + j.attempt_log).c_str());
+    }
+    if (dup2(fileno(stdout), fileno(stderr)) < 0) {
+        childDie("dup2 stderr onto log");
+    }
     std::vector<char *> argv;
-    for (const std::string &a : j.argv) {
-        argv.push_back(const_cast<char *>(a.c_str()));
+    for (size_t i = 0; i < j.argv.size(); ++i) {
+        // Point --json at the attempt-local artifact path.
+        const bool is_json_val = i > 0 && j.argv[i - 1] == "--json";
+        argv.push_back(const_cast<char *>(
+            is_json_val ? j.attempt_json.c_str() : j.argv[i].c_str()));
     }
     argv.push_back(nullptr);
     execvp(argv[0], argv.data());
@@ -286,24 +414,37 @@ spawnJob(const Job &j)
 }
 
 /**
- * Minimal field scrape of a diablo_run artifact.  We wrote the schema
- * (analysis::RunArtifact::toJson), so positional extraction is safe:
- * the run fingerprint is the only one at top-level indentation, and
- * the numeric result fields appear exactly once.
+ * Field scrape of a diablo_run artifact at @p path into @p j.  The
+ * artifact is first checked with RunArtifact::validate — schema
+ * version, completion status, intact fingerprint — so debris from a
+ * crashed run or a drifted schema fails loudly with the path instead
+ * of silently mis-parsing positional fields.
  */
 bool
-scrapeArtifact(Job &j)
+scrapeArtifact(Job &j, const std::string &path)
 {
-    std::ifstream in(j.json);
+    const analysis::RunArtifact::Validation v =
+        analysis::RunArtifact::validate(path);
+    if (!v.ok) {
+        std::fprintf(stderr, "diablo_sweep: artifact %s: %s\n",
+                     path.c_str(), v.error.c_str());
+        return false;
+    }
+    std::ifstream in(path);
     if (!in) {
+        std::fprintf(stderr, "diablo_sweep: artifact %s: unreadable\n",
+                     path.c_str());
         return false;
     }
     std::string doc((std::istreambuf_iterator<char>(in)),
                     std::istreambuf_iterator<char>());
-    auto num = [&doc](const char *key, double &out) {
+    auto num = [&doc, &path](const char *key, double &out) {
         const std::string pat = std::string("\"") + key + "\": ";
         const size_t p = doc.find(pat);
         if (p == std::string::npos) {
+            std::fprintf(stderr,
+                         "diablo_sweep: artifact %s: missing field %s\n",
+                         path.c_str(), key);
             return false;
         }
         out = std::strtod(doc.c_str() + p + pat.size(), nullptr);
@@ -316,18 +457,17 @@ scrapeArtifact(Job &j)
         return false;
     }
     j.requests = static_cast<uint64_t>(req);
-    num("p99_us", j.p99_us); // first latency digest = the headline one
-    const std::string fpat = "\n  \"fingerprint\": \"";
-    const size_t fp = doc.find(fpat);
-    if (fp == std::string::npos) {
-        return false;
+    double p99 = 0.0;
+    {
+        // first latency digest = the headline one
+        const std::string pat = "\"p99_us\": ";
+        const size_t p = doc.find(pat);
+        if (p != std::string::npos) {
+            p99 = std::strtod(doc.c_str() + p + pat.size(), nullptr);
+        }
     }
-    const size_t start = fp + fpat.size();
-    const size_t end = doc.find('"', start);
-    if (end == std::string::npos) {
-        return false;
-    }
-    j.fingerprint = doc.substr(start, end - start);
+    j.p99_us = p99;
+    j.fingerprint = v.fingerprint;
     j.parsed = true;
     return true;
 }
@@ -347,6 +487,11 @@ crossCheckEngines(const std::vector<Job> &jobs)
         if (j.get("engine").empty()) {
             continue;
         }
+        // A run with no artifact already counts against the sweep as a
+        // failure; only completed runs can witness a determinism bug.
+        if (!j.parsed) {
+            continue;
+        }
         std::string key;
         for (const auto &[k, v] : j.assign) {
             if (k != "engine") {
@@ -364,8 +509,7 @@ crossCheckEngines(const std::vector<Job> &jobs)
             continue;
         }
         for (const Job *r : g.runs) {
-            if (!r->parsed ||
-                r->fingerprint != g.runs[0]->fingerprint) {
+            if (r->fingerprint != g.runs[0]->fingerprint) {
                 g.match = false;
             }
         }
@@ -389,6 +533,8 @@ writeReport(const std::string &path, const Spec &spec,
         w.beginObject();
         w.field("name", j.name);
         w.field("label", j.label);
+        w.field("status", j.status.empty() ? "not-run" : j.status);
+        w.field("attempts", static_cast<uint64_t>(j.attempts));
         w.field("exit_code", j.exit_code);
         w.field("artifact", j.json);
         w.field("log", j.log);
@@ -446,6 +592,30 @@ selfDir()
     return buf;
 }
 
+/**
+ * Reap one exited child without blocking.  Returns the pid (> 0), 0
+ * when children exist but none has exited, or -1 when there are no
+ * children at all.  EINTR restarts the syscall — a signal must never
+ * kill a sweep with live children.
+ */
+pid_t
+reapOne(int *status)
+{
+    while (true) {
+        const pid_t pid = waitpid(-1, status, WNOHANG);
+        if (pid >= 0) {
+            return pid;
+        }
+        if (errno == EINTR) {
+            continue;
+        }
+        if (errno == ECHILD) {
+            return -1;
+        }
+        fatal("diablo_sweep: waitpid: %s", std::strerror(errno));
+    }
+}
+
 } // namespace
 
 int
@@ -456,6 +626,11 @@ main(int argc, char **argv)
     std::string runner;
     size_t jobs_flag = 0;
     bool dry_run = false;
+    bool resume = false;
+    double timeout_flag = -1.0;
+    const char *usage =
+        "usage: %s <spec> [--out <dir>] [--resume <dir>] [--jobs N] "
+        "[--timeout <s>] [--runner <diablo_run>] [--dry-run]\n";
     for (int i = 1; i < argc; ++i) {
         auto flagValue = [&](const char *flag) -> const char * {
             const size_t len = std::strlen(flag);
@@ -478,13 +653,22 @@ main(int argc, char **argv)
             out_dir = v;
             continue;
         }
-        if (const char *v = flagValue("--runner")) {
-            runner = v;
+        if (const char *v = flagValue("--resume")) {
+            out_dir = v;
+            resume = true;
             continue;
         }
         if (const char *v = flagValue("--jobs")) {
             jobs_flag = static_cast<size_t>(
                 std::strtoull(v, nullptr, 10));
+            continue;
+        }
+        if (const char *v = flagValue("--timeout")) {
+            timeout_flag = std::strtod(v, nullptr);
+            continue;
+        }
+        if (const char *v = flagValue("--runner")) {
+            runner = v;
             continue;
         }
         if (std::strcmp(argv[i], "--dry-run") == 0) {
@@ -495,14 +679,11 @@ main(int argc, char **argv)
             spec_path = argv[i];
             continue;
         }
-        std::fprintf(stderr,
-                     "usage: %s <spec> [--out <dir>] [--jobs N] "
-                     "[--runner <diablo_run>] [--dry-run]\n", argv[0]);
+        std::fprintf(stderr, usage, argv[0]);
         return 2;
     }
     if (spec_path == nullptr) {
-        std::fprintf(stderr, "usage: %s <spec> [--out <dir>] [--jobs N] "
-                     "[--runner <diablo_run>] [--dry-run]\n", argv[0]);
+        std::fprintf(stderr, usage, argv[0]);
         return 2;
     }
 
@@ -513,6 +694,9 @@ main(int argc, char **argv)
     if (spec.jobs == 0) {
         spec.jobs = 1;
     }
+    if (timeout_flag >= 0.0) {
+        spec.timeout_s = timeout_flag;
+    }
     if (runner.empty()) {
         const std::string dir = selfDir();
         runner = dir.empty() ? "diablo_run" : dir + "/diablo_run";
@@ -521,6 +705,8 @@ main(int argc, char **argv)
         fatal("diablo_sweep: mkdir %s: %s", out_dir.c_str(),
               std::strerror(errno));
     }
+
+    core::installInterruptHandlers();
 
     std::vector<Job> jobs = expandGrid(spec, out_dir, runner);
     std::printf("sweep '%s': %zu grid points, %zu concurrent, out=%s\n",
@@ -537,58 +723,205 @@ main(int argc, char **argv)
         return 0;
     }
 
-    // Bounded-concurrency scheduler: keep up to spec.jobs children
-    // alive, reaping any finished child before launching the next.
-    size_t next = 0, running = 0, failed = 0;
-    std::map<pid_t, Job *> live;
-    while (next < jobs.size() || running > 0) {
-        while (next < jobs.size() && running < spec.jobs) {
-            Job &j = jobs[next++];
-            j.pid = spawnJob(j);
-            live[j.pid] = &j;
-            ++running;
-            std::printf("[%zu/%zu] %s: started\n", next, jobs.size(),
-                        j.label.c_str());
-            std::fflush(stdout);
+    // Resume pass: a grid point whose canonical artifact validates is
+    // already done — scrape it and skip the run.  Invalid or missing
+    // artifacts (debris from a crash, "interrupted" partials, timed-out
+    // points) re-run below on their usual paths; the atomic artifact
+    // write makes overwriting the debris safe.
+    if (resume) {
+        size_t skipped = 0;
+        for (Job &j : jobs) {
+            const analysis::RunArtifact::Validation v =
+                analysis::RunArtifact::validate(j.json);
+            if (v.ok && scrapeArtifact(j, j.json)) {
+                j.status = "skipped-resume";
+                j.exit_code = 0;
+                ++skipped;
+            } else if (!v.error.empty() &&
+                       v.error.find("cannot read") == std::string::npos) {
+                std::printf("%s: re-running (%s)\n", j.label.c_str(),
+                            v.error.c_str());
+            }
         }
-        int status = 0;
-        const pid_t pid = waitpid(-1, &status, 0);
-        if (pid < 0) {
-            fatal("diablo_sweep: waitpid: %s", std::strerror(errno));
-        }
-        auto it = live.find(pid);
-        if (it == live.end()) {
-            continue;
-        }
-        Job &j = *it->second;
-        live.erase(it);
-        --running;
-        j.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : 128;
-        if (j.exit_code != 0) {
-            ++failed;
-            std::printf("%s: FAILED (exit %d, see %s)\n",
-                        j.label.c_str(), j.exit_code, j.log.c_str());
-        } else if (!scrapeArtifact(j)) {
-            ++failed;
-            j.exit_code = -2;
-            std::printf("%s: FAILED (unreadable artifact %s)\n",
-                        j.label.c_str(), j.json.c_str());
-        }
-        std::fflush(stdout);
+        std::printf("resume: %zu/%zu grid points already valid, "
+                    "re-running %zu\n",
+                    skipped, jobs.size(), jobs.size() - skipped);
     }
 
-    analysis::Table table({"run", "workload", "engine", "elapsed_ms",
-                           "goodput_mbps", "requests", "p99_us",
-                           "fingerprint"});
+    // Bounded-concurrency fault-tolerant scheduler: keep up to
+    // spec.jobs children alive; poll (never block) so per-job
+    // deadlines, retry backoff, and interrupts stay responsive.
+    std::vector<Job *> pending;
+    for (Job &j : jobs) {
+        if (j.status.empty()) {
+            pending.push_back(&j);
+        }
+    }
+    std::map<pid_t, Job *> live;
+    size_t failed = 0;
+    bool interrupted = false;
+    const size_t total_to_run = pending.size();
+    size_t done_count = 0;
+    size_t started_count = 0;
+
+    auto finishJob = [&](Job &j, const Clock::time_point &now) {
+        const bool ran_ok =
+            j.exit_code == 0 && scrapeArtifact(j, j.attempt_json);
+        if (ran_ok) {
+            if (j.attempts > 1) {
+                // Promote the winning retry's artifact to the
+                // canonical path (same-directory rename: atomic).
+                if (std::rename(j.attempt_json.c_str(),
+                                j.json.c_str()) != 0) {
+                    fatal("diablo_sweep: rename %s -> %s: %s",
+                          j.attempt_json.c_str(), j.json.c_str(),
+                          std::strerror(errno));
+                }
+                j.log = j.attempt_log;
+                j.status = "retried";
+            } else {
+                j.status = "ok";
+            }
+            ++done_count;
+            return;
+        }
+        const char *cause = j.timed_out ? "timeout" : "failed";
+        if (j.attempts <= spec.retries && !interrupted) {
+            const double delay =
+                spec.backoff_s *
+                static_cast<double>(1ULL << (j.attempts - 1));
+            j.earliest_start =
+                now + std::chrono::microseconds(
+                          static_cast<int64_t>(delay * 1e6));
+            pending.push_back(&j);
+            std::printf("%s: %s (exit %d), retry %zu/%zu in %.1fs\n",
+                        j.label.c_str(), cause, j.exit_code,
+                        j.attempts, spec.retries, delay);
+            return;
+        }
+        j.status = cause;
+        ++failed;
+        ++done_count;
+        std::printf("%s: FAILED (%s, exit %d, see %s)\n", j.label.c_str(),
+                    cause, j.exit_code, j.attempt_log.c_str());
+    };
+
+    while (!pending.empty() || !live.empty()) {
+        const Clock::time_point now = Clock::now();
+
+        if (core::interruptRequested() && !interrupted) {
+            interrupted = true;
+            std::printf("sweep interrupted (%s): terminating %zu "
+                        "running job(s), %zu never started\n",
+                        core::interruptCauseName(), live.size(),
+                        pending.size());
+            std::fflush(stdout);
+            pending.clear();
+            for (auto &[pid, j] : live) {
+                (void)j;
+                kill(pid, SIGTERM);
+            }
+        }
+
+        // Launch: any pending job whose backoff gate has passed.
+        for (size_t i = 0; i < pending.size() && live.size() < spec.jobs;) {
+            Job &j = *pending[i];
+            if (now < j.earliest_start) {
+                ++i;
+                continue;
+            }
+            pending.erase(pending.begin() + static_cast<long>(i));
+            ++j.attempts;
+            setAttemptPaths(j, j.attempts);
+            j.timed_out = false;
+            j.term_sent = false;
+            j.pid = spawnJob(j);
+            if (j.pid < 0) {
+                j.exit_code = -3;
+                finishJob(j, now);
+                continue;
+            }
+            if (spec.timeout_s > 0.0) {
+                j.deadline = now + std::chrono::microseconds(
+                                       static_cast<int64_t>(
+                                           spec.timeout_s * 1e6));
+            }
+            live[j.pid] = &j;
+            if (j.attempts == 1) {
+                ++started_count;
+            }
+            std::printf("[%zu/%zu] %s: started%s\n", started_count,
+                        total_to_run, j.label.c_str(),
+                        j.attempts > 1 ? " (retry)" : "");
+            std::fflush(stdout);
+        }
+
+        // Reap every child that has exited since the last tick.
+        while (!live.empty()) {
+            int status = 0;
+            const pid_t pid = reapOne(&status);
+            if (pid <= 0) {
+                break;
+            }
+            auto it = live.find(pid);
+            if (it == live.end()) {
+                continue;
+            }
+            Job &j = *it->second;
+            live.erase(it);
+            j.exit_code = WIFEXITED(status) ? WEXITSTATUS(status)
+                                            : 128 + WTERMSIG(status);
+            finishJob(j, now);
+            std::fflush(stdout);
+        }
+
+        // Enforce per-job deadlines: SIGTERM first (diablo_run
+        // finalizes a partial "interrupted" artifact), SIGKILL after
+        // the grace period if the child is wedged.
+        if (spec.timeout_s > 0.0 || interrupted) {
+            for (auto &[pid, jp] : live) {
+                Job &j = *jp;
+                const bool overdue =
+                    spec.timeout_s > 0.0 && now >= j.deadline;
+                if (!j.term_sent && (overdue || interrupted)) {
+                    j.term_sent = true;
+                    j.timed_out = overdue;
+                    j.kill_at =
+                        now + std::chrono::microseconds(
+                                  static_cast<int64_t>(
+                                      spec.grace_s * 1e6));
+                    kill(pid, SIGTERM);
+                    if (overdue) {
+                        std::printf("%s: timeout after %.1fs, sent "
+                                    "SIGTERM\n",
+                                    j.label.c_str(), spec.timeout_s);
+                        std::fflush(stdout);
+                    }
+                } else if (j.term_sent && now >= j.kill_at) {
+                    kill(pid, SIGKILL);
+                }
+            }
+        }
+
+        if (!live.empty() ||
+            (!pending.empty() && !core::interruptRequested())) {
+            sleepMs(20);
+        }
+    }
+
+    analysis::Table table({"run", "workload", "engine", "status",
+                           "elapsed_ms", "goodput_mbps", "requests",
+                           "p99_us", "fingerprint"});
     for (const Job &j : jobs) {
+        const std::string st = j.status.empty() ? "not-run" : j.status;
         if (!j.parsed) {
             table.addRow({j.label, j.get("workload"), j.get("engine"),
-                          "-", "-", "-", "-", "FAILED"});
+                          st, "-", "-", "-", "-", "-"});
             continue;
         }
         table.addRow(
             {j.label, j.get("workload"),
-             j.get("engine").empty() ? "single" : j.get("engine"),
+             j.get("engine").empty() ? "single" : j.get("engine"), st,
              analysis::Table::cell("%.1f", j.elapsed_us / 1000.0),
              analysis::Table::cell("%.1f", j.goodput_mbps),
              analysis::Table::cell("%llu",
@@ -611,10 +944,18 @@ main(int argc, char **argv)
         mismatches += c.match ? 0 : 1;
     }
 
-    const bool ok = failed == 0 && mismatches == 0;
+    const bool ok = failed == 0 && mismatches == 0 && !interrupted;
     writeReport(out_dir + "/report.json", spec, jobs, checks, ok);
     std::printf("report: %s/report.json (%zu runs, %zu failed, "
                 "%zu fingerprint mismatches)\n",
                 out_dir.c_str(), jobs.size(), failed, mismatches);
-    return ok ? 0 : 1;
+    // A fingerprint mismatch is a determinism bug — never masked by
+    // the softer partial-failure code.
+    if (mismatches != 0) {
+        return 1;
+    }
+    if (interrupted) {
+        return core::kExitInterrupted;
+    }
+    return failed != 0 ? core::kExitSweepPartial : 0;
 }
