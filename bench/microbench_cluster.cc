@@ -150,6 +150,7 @@ BENCHMARK(BM_ClusterIncastSharded)
     ->Args({1, 4, 4, 0})
     ->Args({0, 8, 8, 0})
     ->Args({1, 8, 8, 1})
+    ->Args({1, 8, 8, 2})
     ->Args({1, 8, 8, 0})
     ->ArgNames({"par", "racks", "spr", "threads"})
     ->UseRealTime()

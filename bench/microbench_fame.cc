@@ -48,6 +48,33 @@ ps_workers(size_t parts, size_t threads)
     return std::min(parts, threads);
 }
 
+size_t
+host_cores()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+}
+
+/**
+ * Stamp every entry with the host core count and whether this row ran
+ * more workers than cores.  Trajectory comparisons (bench_guard, and
+ * anyone eyeballing BENCH_fame.json) must not mix a threads:2 row from
+ * a 1-core runner — where both workers timeshare one core and the
+ * barrier parks immediately — with the same row from a real 2-core
+ * host.  The counters ride into the JSON via TrajectoryReporter.
+ */
+void
+annotate_multicore(benchmark::State &state, size_t workers)
+{
+    const size_t cores = host_cores();
+    state.counters["workers"] =
+        benchmark::Counter(static_cast<double>(workers));
+    state.counters["cores"] =
+        benchmark::Counter(static_cast<double>(cores));
+    state.counters["oversubscribed"] =
+        benchmark::Counter(workers > cores ? 1.0 : 0.0);
+}
+
 void
 BM_FameBarrierRoundTrip(benchmark::State &state)
 {
@@ -68,8 +95,7 @@ BM_FameBarrierRoundTrip(benchmark::State &state)
         ps.runParallel(SimTime::sec(1));
         quanta += ps.lastRunQuanta();
     }
-    state.counters["workers"] = benchmark::Counter(
-        static_cast<double>(ps_workers(parts, threads)));
+    annotate_multicore(state, ps_workers(parts, threads));
     state.SetItemsProcessed(static_cast<int64_t>(quanta));
 }
 
@@ -137,6 +163,7 @@ BM_FameFusedThroughput(benchmark::State &state)
         benchmark::DoNotOptimize(ring.sum);
         events += ps.lastRunTotalExecutedEvents();
     }
+    annotate_multicore(state, ps_workers(kParts, threads));
     state.SetItemsProcessed(static_cast<int64_t>(events));
 }
 
@@ -178,12 +205,14 @@ BM_FameSkipRate(benchmark::State &state)
             ? 100.0 * static_cast<double>(grid_windows - quanta) /
                   static_cast<double>(grid_windows)
             : 0.0);
+    annotate_multicore(state, ps_workers(kParts, threads));
     state.SetItemsProcessed(static_cast<int64_t>(events));
 }
 
 BENCHMARK(BM_FameBarrierRoundTrip)
     ->Args({8, 1})
     ->Args({8, 2})
+    ->Args({8, 4})
     ->Args({8, 0})
     ->ArgNames({"parts", "threads"})
     ->UseRealTime()
@@ -192,6 +221,7 @@ BENCHMARK(BM_FameBarrierRoundTrip)
 BENCHMARK(BM_FameFusedThroughput)
     ->Arg(1)
     ->Arg(2)
+    ->Arg(4)
     ->Arg(0)
     ->ArgName("threads")
     ->UseRealTime()

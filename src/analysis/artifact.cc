@@ -138,6 +138,17 @@ RunArtifact::toJson() const
     w.field("threads_requested", threads_requested);
     w.field("partitions", partitions);
     w.field("workers", workers);
+    if (cores != 0) {
+        w.field("cores", cores);
+        w.field("oversubscribed", oversubscribed);
+    }
+    if (!worker_cpus.empty()) {
+        w.beginArray("worker_cpus");
+        for (int cpu : worker_cpus) {
+            w.value(static_cast<int64_t>(cpu));
+        }
+        w.endArray();
+    }
     w.field("executed_events", executed_events);
     w.field("quanta", quanta);
     w.endObject();

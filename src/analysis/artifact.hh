@@ -77,6 +77,16 @@ struct RunArtifact {
     uint64_t threads_requested = 0;
     uint64_t partitions = 1;
     uint64_t workers = 1;
+    /** Online CPUs the engine saw (0 = not recorded). */
+    uint64_t cores = 0;
+    /** True when the run fused more workers than the host has CPUs. */
+    bool oversubscribed = false;
+    /**
+     * Worker -> cpu pinning map of the last parallel run (-1 =
+     * unpinned); empty single-engine.  Reported, never fingerprinted:
+     * placement must not affect results.
+     */
+    std::vector<int> worker_cpus;
 
     uint32_t nodes = 0;
     double elapsed_us = 0.0; ///< measured phase, simulated time

@@ -256,6 +256,16 @@ JsonWriter::value(const std::string &v)
 }
 
 JsonWriter &
+JsonWriter::value(int64_t v)
+{
+    beforeValue(false);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
 JsonWriter::value(uint64_t v)
 {
     beforeValue(false);

@@ -72,6 +72,7 @@ class JsonWriter {
 
     /** Array elements. */
     JsonWriter &value(const std::string &v);
+    JsonWriter &value(int64_t v);
     JsonWriter &value(uint64_t v);
     JsonWriter &value(double v);
 

@@ -1,0 +1,228 @@
+#include "core/cpu_topology.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <thread>
+
+#ifdef __linux__
+#include <dirent.h>
+#include <sched.h>
+#endif
+
+namespace diablo {
+
+namespace {
+
+bool readFileString(const std::string &path, std::string *out) {
+    FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return false;
+    char buf[4096];
+    size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    buf[n] = '\0';
+    out->assign(buf, n);
+    while (!out->empty() &&
+           (out->back() == '\n' || out->back() == '\r' || out->back() == ' '))
+        out->pop_back();
+    return true;
+}
+
+/** cpu ids present as cpu<N> directories under `cpu_dir`, ascending. */
+std::vector<int> listCpuDirs(const std::string &cpu_dir) {
+    std::vector<int> ids;
+#ifdef __linux__
+    DIR *d = opendir(cpu_dir.c_str());
+    if (!d)
+        return ids;
+    while (struct dirent *e = readdir(d)) {
+        const char *name = e->d_name;
+        if (std::strncmp(name, "cpu", 3) != 0)
+            continue;
+        const char *p = name + 3;
+        if (*p == '\0')
+            continue;
+        bool digits = true;
+        for (const char *q = p; *q; ++q)
+            digits = digits && std::isdigit((unsigned char)*q);
+        if (digits)
+            ids.push_back(std::atoi(p));
+    }
+    closedir(d);
+    std::sort(ids.begin(), ids.end());
+#else
+    (void)cpu_dir;
+#endif
+    return ids;
+}
+
+/**
+ * Canonical key of the cpu's last-level cache: the shared_cpu_list of
+ * the highest-level Unified (or Data, if no Unified) cache index.
+ * Empty when the cache directory is absent.
+ */
+std::string llcKeyOf(const std::string &cpu_path) {
+    std::string best_key;
+    int best_level = -1;
+    for (int index = 0; index < 16; ++index) {
+        std::string base =
+            cpu_path + "/cache/index" + std::to_string(index);
+        std::string level_s, type_s, shared_s;
+        if (!readFileString(base + "/level", &level_s))
+            continue;
+        if (!readFileString(base + "/shared_cpu_list", &shared_s))
+            continue;
+        readFileString(base + "/type", &type_s);
+        if (type_s == "Instruction")
+            continue;
+        int level = std::atoi(level_s.c_str());
+        if (level > best_level) {
+            best_level = level;
+            best_key = shared_s;
+        }
+    }
+    return best_key;
+}
+
+unsigned fallbackHardwareCpus() {
+    unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+} // namespace
+
+size_t CpuTopology::llcGroupCount() const {
+    int max_group = -1;
+    for (int g : llc_of)
+        max_group = std::max(max_group, g);
+    return (size_t)(max_group + 1);
+}
+
+int CpuTopology::llcGroupOf(int cpu) const {
+    for (size_t i = 0; i < cpus.size(); ++i)
+        if (cpus[i] == cpu)
+            return llc_of[i];
+    return -1;
+}
+
+CpuTopology CpuTopology::flat(unsigned n) {
+    CpuTopology t;
+    if (n == 0)
+        n = 1;
+    t.cpus.reserve(n);
+    t.llc_of.assign(n, 0);
+    for (unsigned i = 0; i < n; ++i)
+        t.cpus.push_back((int)i);
+    t.from_sysfs = false;
+    return t;
+}
+
+CpuTopology CpuTopology::detectFrom(const std::string &cpu_dir,
+                                    unsigned fallback_cpus) {
+    std::vector<int> ids = listCpuDirs(cpu_dir);
+    if (ids.empty())
+        return flat(fallback_cpus);
+
+    CpuTopology t;
+    t.from_sysfs = true;
+    std::map<std::string, int> group_of_key;
+    for (int id : ids) {
+        std::string cpu_path = cpu_dir + "/cpu" + std::to_string(id);
+        // Respect hotplug state; cpu0 typically has no online file.
+        std::string online;
+        if (readFileString(cpu_path + "/online", &online) && online == "0")
+            continue;
+        std::string key = llcKeyOf(cpu_path);
+        if (key.empty())
+            key = "all"; // no cache info: one shared group
+        auto [it, fresh] =
+            group_of_key.emplace(key, (int)group_of_key.size());
+        t.cpus.push_back(id);
+        t.llc_of.push_back(it->second);
+        (void)fresh;
+    }
+    if (t.cpus.empty())
+        return flat(fallback_cpus);
+    return t;
+}
+
+const CpuTopology &CpuTopology::host() {
+    static const CpuTopology cached =
+        detectFrom("/sys/devices/system/cpu", fallbackHardwareCpus());
+    return cached;
+}
+
+std::vector<int> parseCpuList(const std::string &text) {
+    std::vector<int> out;
+    const char *p = text.c_str();
+    while (*p) {
+        char *end = nullptr;
+        long lo = std::strtol(p, &end, 10);
+        if (end == p || lo < 0)
+            return {};
+        long hi = lo;
+        p = end;
+        if (*p == '-') {
+            ++p;
+            hi = std::strtol(p, &end, 10);
+            if (end == p || hi < lo)
+                return {};
+            p = end;
+        }
+        for (long c = lo; c <= hi; ++c)
+            out.push_back((int)c);
+        if (*p == ',')
+            ++p;
+        else if (*p != '\0')
+            return {};
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+bool pinCurrentThreadToCpu(int cpu) {
+#ifdef __linux__
+    if (cpu < 0)
+        return false;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(cpu, &set);
+    return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+    (void)cpu;
+    return false;
+#endif
+}
+
+SavedAffinity saveCurrentThreadAffinity() {
+    SavedAffinity s;
+#ifdef __linux__
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+        s.mask.assign((const uint8_t *)&set,
+                      (const uint8_t *)&set + sizeof(set));
+        s.valid = true;
+    }
+#endif
+    return s;
+}
+
+void restoreCurrentThreadAffinity(const SavedAffinity &saved) {
+#ifdef __linux__
+    if (!saved.valid || saved.mask.size() != sizeof(cpu_set_t))
+        return;
+    cpu_set_t set;
+    std::memcpy(&set, saved.mask.data(), sizeof(set));
+    sched_setaffinity(0, sizeof(set), &set);
+#else
+    (void)saved;
+#endif
+}
+
+} // namespace diablo

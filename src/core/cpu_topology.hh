@@ -1,0 +1,95 @@
+#ifndef DIABLO_CORE_CPU_TOPOLOGY_HH_
+#define DIABLO_CORE_CPU_TOPOLOGY_HH_
+
+/**
+ * @file
+ * CPU cache topology detection and thread pinning.
+ *
+ * The parallel FAME engine wants to know two things about the host:
+ * how many CPUs it may actually run on (so it can stop spinning when
+ * oversubscribed), and which CPUs share a last-level cache (so fused
+ * partition groups that exchange channel traffic can be placed on LLC
+ * siblings and their quantum-boundary message drain stays on-package).
+ *
+ * Detection reads /sys/devices/system/cpu.  Hosts without sysfs (or
+ * non-Linux builds) fall back to a deterministic flat topology derived
+ * from std::thread::hardware_concurrency(): N CPUs, one LLC group.
+ * detectFrom() takes the sysfs root as a parameter so tests can point
+ * it at a fixture directory describing any machine shape.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace diablo {
+
+struct CpuTopology {
+    /** Online CPU ids, ascending. */
+    std::vector<int> cpus;
+
+    /**
+     * Last-level-cache group per entry of cpus (parallel array).
+     * Group ids are dense, assigned in order of first appearance, so
+     * two topologies describing the same machine compare equal.
+     */
+    std::vector<int> llc_of;
+
+    /** True when the shape came from sysfs, false for the fallback. */
+    bool from_sysfs = false;
+
+    size_t cpuCount() const { return cpus.size(); }
+
+    /** Number of distinct LLC groups (>= 1 unless no CPUs). */
+    size_t llcGroupCount() const;
+
+    /** LLC group of a cpu id, or -1 if the id is not in cpus. */
+    int llcGroupOf(int cpu) const;
+
+    /**
+     * Detect the host topology: sysfs when available, else the flat
+     * fallback.  The result is cached after the first call.
+     */
+    static const CpuTopology &host();
+
+    /**
+     * Parse a topology from a sysfs-style tree rooted at `cpu_dir`
+     * (the directory containing cpu0/, cpu1/, ...).  Returns the flat
+     * fallback with `fallback_cpus` CPUs when the tree is unreadable.
+     */
+    static CpuTopology detectFrom(const std::string &cpu_dir,
+                                  unsigned fallback_cpus);
+
+    /** Flat fallback: CPUs 0..n-1, all in one LLC group. */
+    static CpuTopology flat(unsigned n);
+};
+
+/**
+ * Parse a sysfs cpu list ("0-3,8,10-11") into ascending cpu ids.
+ * Malformed input yields an empty vector.
+ */
+std::vector<int> parseCpuList(const std::string &text);
+
+/**
+ * Pin the calling thread to one CPU.  Returns false (and leaves the
+ * affinity unchanged) when the kernel refuses or pinning is
+ * unsupported on this platform.
+ */
+bool pinCurrentThreadToCpu(int cpu);
+
+/**
+ * Opaque saved affinity mask of the calling thread, for restoring the
+ * caller's mask after a run borrows it as worker 0.  An empty save
+ * (capture failed) makes restore a no-op.
+ */
+struct SavedAffinity {
+    std::vector<uint8_t> mask;
+    bool valid = false;
+};
+
+SavedAffinity saveCurrentThreadAffinity();
+void restoreCurrentThreadAffinity(const SavedAffinity &saved);
+
+} // namespace diablo
+
+#endif // DIABLO_CORE_CPU_TOPOLOGY_HH_

@@ -11,11 +11,16 @@ uint32_t
 EventQueue::growSlots()
 {
     // Payload encoding gives slots 31 bits (see HeapEntry).
-    if (slots_.size() >= (uint64_t{1} << 31)) {
+    if (slot_count_ >= (uint32_t{1} << 31)) {
         panic("EventQueue: slot pool overflow");
     }
-    slots_.emplace_back();
-    return static_cast<uint32_t>(slots_.size() - 1);
+    if ((slot_count_ & kSlotChunkMask) == 0) {
+        void *mem = slot_arena_.allocate(sizeof(Slot) * kSlotsPerChunk,
+                                         alignof(Slot));
+        chunks_.push_back(static_cast<Slot *>(mem));
+    }
+    ::new (&chunks_.back()[slot_count_ & kSlotChunkMask]) Slot();
+    return slot_count_++;
 }
 
 void

@@ -25,6 +25,12 @@
  *    cancel() destroys the callback and bumps the generation; the heap
  *    entry remains and is recognized as a tombstone (generation mismatch)
  *    when it reaches the top.  No side-table, no hashing.
+ *  - The slot pool is chunked out of a queue-owned SlabArena: slots never
+ *    relocate (growth allocates a fresh chunk instead of moving every
+ *    live callback the way vector growth did), and the queue's hot state
+ *    lives in memory owned by its partition — under the fused parallel
+ *    engine each partition belongs to exactly one worker for a run, so
+ *    no allocator or slot cacheline is shared across workers.
  */
 
 #include <coroutine>
@@ -36,6 +42,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/arena.hh"
 #include "core/time.hh"
 
 namespace diablo {
@@ -318,12 +325,21 @@ class EventQueue {
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
+    ~EventQueue()
+    {
+        // Slots are placement-constructed in arena chunks; the arena
+        // reclaims the bytes but cannot run the EventFn destructors.
+        for (uint32_t i = 0; i < slot_count_; ++i) {
+            slotRef(i).~Slot();
+        }
+    }
+
     /** Schedule @p fn at absolute time @p when. */
     EventId
     schedule(SimTime when, EventFn fn, int8_t prio = event_prio::kDefault)
     {
         const uint32_t slot = allocSlot();
-        Slot &s = slots_[slot];
+        Slot &s = slotRef(slot);
         s.fn = std::move(fn);
         const uint64_t seq = next_seq_++;
         ++live_;
@@ -346,7 +362,7 @@ class EventQueue {
     scheduleEmplace(SimTime when, int8_t prio, F &&f)
     {
         const uint32_t slot = allocSlot();
-        Slot &s = slots_[slot];
+        Slot &s = slotRef(slot);
         s.fn.emplace(std::forward<F>(f));
         const uint64_t seq = next_seq_++;
         ++live_;
@@ -380,10 +396,10 @@ class EventQueue {
     void
     cancel(EventId id)
     {
-        if (!id.valid() || id.slot >= slots_.size()) {
+        if (!id.valid() || id.slot >= slot_count_) {
             return;
         }
-        Slot &s = slots_[id.slot];
+        Slot &s = slotRef(id.slot);
         if (s.gen != id.gen) {
             return; // already fired or cancelled
         }
@@ -431,7 +447,7 @@ class EventQueue {
             return top.when;
         }
         const uint32_t slot = payloadSlot(top.payload);
-        Slot &s = slots_[slot];
+        Slot &s = slotRef(slot);
         fn = std::move(s.fn);
         ++s.gen; // late cancel() of this id is now a no-op
         freeSlot(slot);
@@ -466,11 +482,12 @@ class EventQueue {
         heap_.clear();
         live_ = 0;
         free_head_ = EventId::kInvalidSlot;
-        for (size_t i = 0; i < slots_.size(); ++i) {
-            slots_[i].fn.reset();
-            ++slots_[i].gen;
-            slots_[i].next_free = free_head_;
-            free_head_ = static_cast<uint32_t>(i);
+        for (uint32_t i = 0; i < slot_count_; ++i) {
+            Slot &s = slotRef(i);
+            s.fn.reset();
+            ++s.gen;
+            s.next_free = free_head_;
+            free_head_ = i;
         }
     }
 
@@ -535,6 +552,31 @@ class EventQueue {
         uint32_t gen = 0;
         uint32_t next_free = EventId::kInvalidSlot;
     };
+    static_assert(sizeof(Slot) == 64,
+                  "a callback slot is exactly one cache line");
+
+    /**
+     * Slot storage is chunked: fixed-size runs of slots placed in the
+     * queue-owned arena, addressed chunk-then-offset by shift/mask.
+     * Chunks never move, so a Slot's address — and the EventFn inside
+     * it — is stable for the queue's lifetime; growing the pool costs
+     * one arena allocation instead of relocating every live callback.
+     */
+    static constexpr uint32_t kSlotChunkShift = 8; // 256 slots, 16 KiB
+    static constexpr uint32_t kSlotsPerChunk = 1u << kSlotChunkShift;
+    static constexpr uint32_t kSlotChunkMask = kSlotsPerChunk - 1;
+
+    Slot &
+    slotRef(uint32_t slot)
+    {
+        return chunks_[slot >> kSlotChunkShift][slot & kSlotChunkMask];
+    }
+
+    const Slot &
+    slotRef(uint32_t slot) const
+    {
+        return chunks_[slot >> kSlotChunkShift][slot & kSlotChunkMask];
+    }
 
     static uint64_t
     packOrder(int8_t prio, uint64_t seq)
@@ -560,7 +602,7 @@ class EventQueue {
     {
         // Wakeup entries are never cancelled.
         return !isWakeup(e.payload) &&
-               slots_[payloadSlot(e.payload)].gen != payloadGen(e.payload);
+               slotRef(payloadSlot(e.payload)).gen != payloadGen(e.payload);
     }
 
     uint32_t
@@ -568,7 +610,7 @@ class EventQueue {
     {
         if (free_head_ != EventId::kInvalidSlot) {
             const uint32_t s = free_head_;
-            free_head_ = slots_[s].next_free;
+            free_head_ = slotRef(s).next_free;
             return s;
         }
         return growSlots();
@@ -577,7 +619,7 @@ class EventQueue {
     void
     freeSlot(uint32_t slot)
     {
-        slots_[slot].next_free = free_head_;
+        slotRef(slot).next_free = free_head_;
         free_head_ = slot;
     }
 
@@ -647,11 +689,13 @@ class EventQueue {
     uint32_t growSlots();
     [[noreturn]] void popEmptyPanic();
 
-    std::vector<HeapEntry> heap_; ///< 4-ary implicit min-heap
-    std::vector<Slot> slots_;     ///< callback pool, freelist-recycled
+    std::vector<HeapEntry> heap_;    ///< 4-ary implicit min-heap
+    std::vector<Slot *> chunks_;     ///< arena-backed slot chunks
+    uint32_t slot_count_ = 0;        ///< constructed slots
     uint32_t free_head_ = EventId::kInvalidSlot;
     uint64_t next_seq_ = 0;
     size_t live_ = 0;
+    SlabArena slot_arena_; ///< owns the chunk storage (stable addresses)
 };
 
 } // namespace diablo

@@ -1,6 +1,7 @@
 #include "fame/partition.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <map>
 
 #include "core/log.hh"
@@ -30,12 +31,41 @@ PartitionSet::Channel::post(SimTime when, EventFn fn)
         // dirty list.  Posts run in source-partition events, so exactly
         // one worker — the one the source partition is fused onto —
         // ever touches this channel (and this list) within a quantum.
-        owner_->worker_dirty_[owner_->worker_of_[src_]].push_back(index_);
+        owner_->markChannelDirty(index_, src_);
     }
     pending_.push_back(Msg{when, std::move(fn)});
 }
 
-PartitionSet::PartitionSet(size_t n)
+void
+PartitionSet::markChannelDirty(uint32_t index, size_t src)
+{
+    WorkerLane &lane = lanes_[worker_of_[src]];
+    if (lane.dirty_count == lane.dirty_cap) {
+        growLaneDirty(lane);
+    }
+    lane.dirty[lane.dirty_count++] = index;
+}
+
+void
+PartitionSet::growLaneDirty(WorkerLane &lane)
+{
+    // Worst case every channel goes dirty in one quantum, so sizing to
+    // the channel count makes growth a once-per-topology event.  The
+    // old storage is abandoned inside the lane's arena (bytes, not
+    // allocations, are the cost, and only on growth).
+    const uint32_t cap =
+        std::max({lane.dirty_cap * 2,
+                  static_cast<uint32_t>(channels_.size()), 8u});
+    auto *fresh = static_cast<uint32_t *>(
+        lane.arena.allocate(cap * sizeof(uint32_t), alignof(uint32_t)));
+    if (lane.dirty_count != 0) {
+        std::memcpy(fresh, lane.dirty, lane.dirty_count * sizeof(uint32_t));
+    }
+    lane.dirty = fresh;
+    lane.dirty_cap = cap;
+}
+
+PartitionSet::PartitionSet(size_t n) : topo_(CpuTopology::host())
 {
     if (n == 0) {
         fatal("PartitionSet: need at least one partition");
@@ -48,11 +78,25 @@ PartitionSet::PartitionSet(size_t n)
     weights_.assign(n, 1.0);
     groups_.assign(n, -1);
     // A valid 1-worker fusion exists from birth, so Channel::post finds
-    // a dirty list even before the first run sets up its own fusion.
+    // a dirty lane even before the first run sets up its own fusion.
     worker_of_.assign(n, 0);
     worker_parts_.resize(1);
-    worker_min_.resize(1);
-    worker_dirty_.resize(1);
+    ensureLanes(1);
+    lane_active_ = 1;
+    worker_cpu_.assign(1, -1);
+}
+
+void
+PartitionSet::ensureLanes(size_t workers)
+{
+    if (workers <= lane_count_) {
+        return;
+    }
+    // Lanes are rebuilt wholesale: dirty lists are empty between runs
+    // (every quantum drains them) and horizons revalidate lazily, so
+    // nothing in the old lanes is worth migrating.
+    lanes_ = std::make_unique<WorkerLane[]>(workers);
+    lane_count_ = workers;
 }
 
 PartitionSet::~PartitionSet()
@@ -154,7 +198,60 @@ PartitionSet::setParallelism(size_t n)
         fatal("PartitionSet: setParallelism while a parallel run is "
               "live");
     }
+    if (n > parts_.size()) {
+        // Extra workers could never own a partition; accepting the
+        // request silently used to make parallelism() lie to tooling.
+        if (!clamp_warned_) {
+            log::warn("PartitionSet: parallelism %zu exceeds partition "
+                      "count %zu; clamping to %zu",
+                      n, parts_.size(), parts_.size());
+            clamp_warned_ = true;
+        }
+        n = parts_.size();
+    }
     threads_ = n;
+}
+
+void
+PartitionSet::setWorkerPinning(bool enable)
+{
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    if (run_active_) {
+        fatal("PartitionSet: setWorkerPinning while a parallel run is "
+              "live");
+    }
+    pin_mode_ = enable ? PinMode::Auto : PinMode::Off;
+    pin_cpus_.clear();
+}
+
+void
+PartitionSet::setWorkerCpus(std::vector<int> cpus)
+{
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    if (run_active_) {
+        fatal("PartitionSet: setWorkerCpus while a parallel run is "
+              "live");
+    }
+    for (int c : cpus) {
+        if (topo_.llcGroupOf(c) < 0) {
+            fatal("PartitionSet: setWorkerCpus: cpu %d is not an online "
+                  "CPU of this host's topology (%zu CPUs)",
+                  c, topo_.cpuCount());
+        }
+    }
+    pin_cpus_ = std::move(cpus);
+    pin_mode_ = PinMode::Explicit;
+}
+
+void
+PartitionSet::setCpuTopology(CpuTopology topo)
+{
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    if (run_active_) {
+        fatal("PartitionSet: setCpuTopology while a parallel run is "
+              "live");
+    }
+    topo_ = std::move(topo);
 }
 
 size_t
@@ -196,14 +293,23 @@ PartitionSet::assignPartitions(size_t workers)
         wp.clear();
     }
     worker_of_.resize(parts_.size());
-    worker_min_.resize(workers);
-    worker_dirty_.resize(workers);
+    ensureLanes(workers);
+    lane_active_ = workers;
+    for (size_t w = 0; w < workers; ++w) {
+        // Events may have been scheduled from outside between runs;
+        // horizons revalidate on each worker's first window.
+        lanes_[w].horizon_valid = false;
+        lanes_[w].published_min = SimTime::max();
+    }
 
+    std::vector<double> load(workers, 0.0);
     if (workers == 1) {
         for (size_t p = 0; p < parts_.size(); ++p) {
             worker_of_[p] = 0;
             worker_parts_[0].push_back(p);
+            load[0] += weights_[p];
         }
+        placeWorkers(workers, load);
         return;
     }
 
@@ -256,7 +362,6 @@ PartitionSet::assignPartitions(size_t workers)
                          return group_weight[a] > group_weight[b];
                      });
 
-    std::vector<double> load(workers, 0.0);
     auto leastLoaded = [&load, workers]() {
         size_t best = 0;
         for (size_t w = 1; w < workers; ++w) {
@@ -299,6 +404,82 @@ PartitionSet::assignPartitions(size_t workers)
     for (auto &wp : worker_parts_) {
         std::sort(wp.begin(), wp.end());
     }
+    placeWorkers(workers, load);
+}
+
+void
+PartitionSet::placeWorkers(size_t workers, const std::vector<double> &load)
+{
+    worker_cpu_.assign(workers, -1);
+    if (pin_mode_ == PinMode::Explicit) {
+        for (size_t w = 0; w < workers && w < pin_cpus_.size(); ++w) {
+            worker_cpu_[w] = pin_cpus_[w];
+        }
+    } else if (pin_mode_ == PinMode::Auto) {
+        // Pin only when every worker can own a CPU: an oversubscribed
+        // run gains nothing from affinity (the barrier already parks
+        // immediately), and a solo run should not perturb the caller's
+        // mask for a degenerate fusion.
+        if (workers < 2 || workers > topo_.cpuCount()) {
+            for (size_t w = 0; w < workers; ++w) {
+                lanes_[w].cpu = -1;
+            }
+            return;
+        }
+        // Worker-to-worker affinity = number of channels crossing the
+        // pair.  Heaviest worker first, each taking the free CPU with
+        // the most affinity into LLC groups of already-placed partners
+        // (ties: lowest cpu id) — so fused sets that exchange messages
+        // land on LLC siblings and the serial drain stays on-package.
+        std::vector<uint32_t> aff(workers * workers, 0);
+        for (const auto &ch : channels_) {
+            const uint32_t a = worker_of_[ch->src_];
+            const uint32_t b = worker_of_[ch->dst_];
+            if (a != b) {
+                ++aff[a * workers + b];
+                ++aff[b * workers + a];
+            }
+        }
+        std::vector<size_t> order(workers);
+        for (size_t w = 0; w < workers; ++w) {
+            order[w] = w;
+        }
+        std::stable_sort(order.begin(), order.end(),
+                         [&load](size_t a, size_t b) {
+                             return load[a] > load[b];
+                         });
+        std::vector<char> taken(topo_.cpuCount(), 0);
+        for (size_t w : order) {
+            size_t best = SIZE_MAX;
+            uint64_t best_score = 0;
+            for (size_t c = 0; c < topo_.cpuCount(); ++c) {
+                if (taken[c]) {
+                    continue;
+                }
+                uint64_t score = 0;
+                for (size_t v = 0; v < workers; ++v) {
+                    if (v == w || worker_cpu_[v] < 0) {
+                        continue;
+                    }
+                    if (topo_.llcGroupOf(worker_cpu_[v]) == topo_.llc_of[c]) {
+                        score += aff[w * workers + v];
+                    }
+                }
+                if (best == SIZE_MAX || score > best_score) {
+                    best = c;
+                    best_score = score;
+                }
+            }
+            if (best == SIZE_MAX) {
+                continue; // unreachable: workers <= cpuCount above
+            }
+            taken[best] = 1;
+            worker_cpu_[w] = topo_.cpus[best];
+        }
+    }
+    for (size_t w = 0; w < workers; ++w) {
+        lanes_[w].cpu = worker_cpu_[w];
+    }
 }
 
 SimTime
@@ -308,9 +489,13 @@ PartitionSet::drainDirtyChannels()
     // order: the destination-queue insertion sequence — and therefore
     // same-timestamp tie-breaking — must not depend on the fusion.
     drain_scratch_.clear();
-    for (auto &dl : worker_dirty_) {
-        drain_scratch_.insert(drain_scratch_.end(), dl.begin(), dl.end());
-        dl.clear();
+    for (size_t w = 0; w < lane_active_; ++w) {
+        WorkerLane &lane = lanes_[w];
+        if (lane.dirty_count != 0) {
+            drain_scratch_.insert(drain_scratch_.end(), lane.dirty,
+                                  lane.dirty + lane.dirty_count);
+            lane.dirty_count = 0;
+        }
     }
     if (drain_scratch_.empty()) {
         return SimTime::max();
@@ -320,6 +505,8 @@ PartitionSet::drainDirtyChannels()
     for (uint32_t idx : drain_scratch_) {
         Channel &ch = *channels_[idx];
         Simulator &dst = *parts_[ch.dst_];
+        WorkerLane &dst_lane = lanes_[worker_of_[ch.dst_]];
+        SimTime ch_min = SimTime::max();
         for (auto &msg : ch.pending_) {
             if (msg.when < dst.now()) {
                 panic("PartitionSet: channel %s: causality violation "
@@ -327,8 +514,15 @@ PartitionSet::drainDirtyChannels()
                       ch.name_.c_str(), msg.when.str().c_str(),
                       dst.now().str().c_str());
             }
-            min_when = std::min(min_when, msg.when);
+            ch_min = std::min(ch_min, msg.when);
             dst.scheduleAt(msg.when, std::move(msg.fn));
+        }
+        min_when = std::min(min_when, ch_min);
+        // A message landing in the destination's fused set lowers that
+        // worker's cached horizon; folding it here keeps the per-worker
+        // quantum skip exact without any rescan.
+        if (dst_lane.horizon_valid) {
+            dst_lane.horizon = std::min(dst_lane.horizon, ch_min);
         }
         // clear() keeps capacity: steady-state traffic re-posts into
         // the same storage with no allocator round trips.
@@ -460,7 +654,7 @@ PartitionSet::parallelQuantumEnd() noexcept
     if (skip_idle_) {
         SimTime earliest = msg_min;
         for (size_t w = 0; w < par_workers_; ++w) {
-            earliest = std::min(earliest, worker_min_[w].v);
+            earliest = std::min(earliest, lanes_[w].published_min);
         }
         par_t_ = windowForEarliest(earliest, par_t_, par_q_, par_until_);
     }
@@ -474,28 +668,36 @@ void
 PartitionSet::workerBody(size_t w)
 {
     const std::vector<size_t> &mine = worker_parts_[w];
+    WorkerLane &lane = lanes_[w];
     const bool solo = par_workers_ == 1;
+    uint32_t sense = 0;
     while (!par_done_) {
         const SimTime bound = par_bound_;
-        if (skip_idle_) {
+        if (!lane.horizon_valid || lane.horizon < bound) {
+            // Work (or unknown state) below the bound: advance the
+            // fused set and recompute the cached horizon.
             SimTime local_min = SimTime::max();
             for (size_t p : mine) {
                 parts_[p]->runBefore(bound);
                 local_min =
                     std::min(local_min, parts_[p]->nextEventTime());
             }
-            worker_min_[w].v = local_min;
-        } else {
-            for (size_t p : mine) {
-                parts_[p]->runBefore(bound);
-            }
+            lane.horizon = local_min;
+            lane.horizon_valid = true;
         }
+        // else: per-worker quantum skip.  Nothing of this fused set
+        // fires before the bound — the serial drain folds incoming
+        // messages into the horizon, so the cache is exact — and the
+        // window costs one barrier round, zero partition scans.
+        lane.published_min = lane.horizon;
         if (solo) {
             // Degenerate fusion: no siblings, so no barrier at all —
             // this is the near-runSequential configuration.
             parallelQuantumEnd();
         } else {
+            sense ^= 1u;
             barrier_.arriveAndWait(
+                static_cast<uint32_t>(w), sense,
                 [this]() noexcept { parallelQuantumEnd(); });
         }
     }
@@ -515,9 +717,14 @@ PartitionSet::ensureWorkerPool(size_t pool_threads)
 void
 PartitionSet::workerLoop(size_t worker_id)
 {
+    // The thread's inherited mask is home base: runs whose placement
+    // pins this worker narrow it, runs that don't restore it.
+    const SavedAffinity home = saveCurrentThreadAffinity();
+    bool pinned = false;
     uint64_t seen_generation = 0;
     for (;;) {
         bool participate;
+        int cpu = -1;
         {
             std::unique_lock<std::mutex> lk(pool_mu_);
             pool_work_cv_.wait(lk, [&] {
@@ -532,9 +739,18 @@ PartitionSet::workerLoop(size_t worker_id)
             // extra threads parked; they are not counted in
             // workers_running_ and never touch the barrier.
             participate = worker_id < par_workers_;
+            if (participate) {
+                cpu = worker_cpu_[worker_id];
+            }
         }
         if (!participate) {
             continue;
+        }
+        if (cpu >= 0) {
+            pinned = pinCurrentThreadToCpu(cpu);
+        } else if (pinned) {
+            restoreCurrentThreadAffinity(home);
+            pinned = false;
         }
         // The initial window state was published under pool_mu_, and
         // every subsequent write happens in the barrier completion
@@ -566,6 +782,7 @@ PartitionSet::runParallel(SimTime until)
     const size_t workers = std::min(parts_.size(), parallelism());
     assignPartitions(workers);
     par_workers_ = workers;
+    last_oversubscribed_ = workers > topo_.cpuCount();
     par_q_ = q;
     par_until_ = until;
     par_t_ = nextWindowStart(SimTime(), q, until);
@@ -573,8 +790,24 @@ PartitionSet::runParallel(SimTime until)
     par_done_ = par_t_ >= until;
 
     if (!par_done_) {
+        // The caller doubles as worker 0: borrow its affinity for the
+        // run when the placement pinned worker 0, and hand it back on
+        // exit regardless of how the run went.
+        const int cpu0 = worker_cpu_.empty() ? -1 : worker_cpu_[0];
+        SavedAffinity home;
+        bool pinned0 = false;
+        if (cpu0 >= 0) {
+            home = saveCurrentThreadAffinity();
+            pinned0 = pinCurrentThreadToCpu(cpu0);
+        }
         if (workers > 1) {
-            barrier_.reset(static_cast<uint32_t>(workers));
+            barrier_.init(static_cast<uint32_t>(workers));
+            // Spinning only pays when every worker owns a core; on an
+            // oversubscribed host each spin slot burns the scheduler
+            // quantum the sibling worker needs, so park immediately.
+            barrier_.setSpinBudget(last_oversubscribed_
+                                       ? 0
+                                       : TreeBarrier::kDefaultSpinBudget);
             {
                 std::lock_guard<std::mutex> lk(pool_mu_);
                 ++pool_generation_;
@@ -590,6 +823,9 @@ PartitionSet::runParallel(SimTime until)
             pool_idle_cv_.wait(lk, [&] { return workers_running_ == 0; });
         } else {
             workerBody(0); // fused to one worker: no pool, no barrier
+        }
+        if (pinned0) {
+            restoreCurrentThreadAffinity(home);
         }
     }
     {

@@ -35,7 +35,7 @@
  * skip rule, so parallel ≡ sequential continues to hold exactly.
  *
  * Winning back the sync tax (the paper's whole point is that the
- * partitioned engine *accelerates* the model) takes four stacked
+ * partitioned engine *accelerates* the model) takes stacked
  * mechanisms in runParallel:
  *
  *  1. **Partition fusion.**  P partitions are mapped onto
@@ -47,19 +47,43 @@
  *     worker 0, so a run hands off to at most `workers-1` pool
  *     threads.  setPartitionWeight() biases the (deterministic, LPT
  *     greedy) fusion assignment toward balance.
- *  2. **Spin-then-park barrier.**  A sense-reversing barrier whose
- *     waiters spin with bounded exponential backoff (quanta are ~µs;
- *     a futex round trip costs more than most quanta) and park on the
- *     sense word only after the spin budget is exhausted — long idle
- *     gaps cost a futex wait, dense phases cost no syscalls at all.
- *  3. **Incremental serial section.**  Each worker publishes the
+ *  2. **Hierarchical spin-then-park barrier.**  Workers synchronize
+ *     on a radix-4 combining tree (TreeBarrier): arrivals touch one
+ *     cacheline per tree node instead of all contending one atomic,
+ *     waiters spin with bounded backoff (quanta are ~µs; a futex
+ *     round trip costs more than most quanta) and park only after
+ *     the budget — which drops to zero when workers outnumber online
+ *     CPUs, because spinning on a timeshared core just burns the
+ *     scheduler quantum the other worker needs.
+ *  3. **Cache-topology-aware worker placement.**  Fusion derives a
+ *     worker-to-worker affinity from the channels crossing them and
+ *     pins workers so that heavily-communicating workers share a
+ *     last-level cache (CpuTopology; sysfs-detected, deterministic
+ *     fallback), keeping quantum-boundary message drains on-package.
+ *     setWorkerCpus() overrides the map; setWorkerPinning(false)
+ *     disables it.
+ *  4. **Per-worker lanes and arenas.**  All hot per-worker engine
+ *     state — published minima, the cached event horizon, the dirty
+ *     channel list — lives in one cacheline-aligned WorkerLane whose
+ *     scratch comes from a worker-local SlabArena, so no two workers'
+ *     hot state ever shares a cacheline.  (Each partition's EventQueue
+ *     slot pool is likewise arena-chunked, and a partition belongs to
+ *     exactly one worker for the duration of a run.)
+ *  5. **Per-worker quantum skipping.**  Each worker caches its fused
+ *     set's next-event horizon; while the horizon clears the window
+ *     bound — and the serial drain lowers it when a message lands in
+ *     the worker's partitions — the worker skips its partition scans
+ *     entirely and arrives at the barrier with the published minimum
+ *     unchanged.  The global window sequence is untouched, so results
+ *     stay bit-identical; sparse phases just pay one tree round.
+ *  6. **Incremental serial section.**  Each worker publishes the
  *     earliest pending event time of its fused partitions as it
  *     arrives at the barrier, and a channel registers itself on its
  *     worker's dirty list on the first post of a quantum; the
  *     completion step folds worker minima with drained-message minima
  *     instead of rescanning every partition and channel per ~µs
  *     window.
- *  4. **Allocation-free channel buffers.**  Per-channel message
+ *  7. **Allocation-free channel buffers.**  Per-channel message
  *     storage keeps its capacity across quanta, and posts carry the
  *     small-buffer-optimized EventFn, so steady-state cross-partition
  *     traffic touches no allocator.
@@ -77,7 +101,10 @@
 #include <thread>
 #include <vector>
 
+#include "core/arena.hh"
+#include "core/cpu_topology.hh"
 #include "core/simulator.hh"
+#include "fame/tree_barrier.hh"
 
 namespace diablo {
 namespace fame {
@@ -197,7 +224,9 @@ class PartitionSet {
      * Cap the number of worker threads runParallel fuses partitions
      * onto: a run uses `min(size(), n)` workers (the calling thread is
      * worker 0, so at most n-1 pool threads run).  @p n == 0 restores
-     * the default, `hardware_concurrency`.  Simulated results are
+     * the default, `hardware_concurrency`.  A request above the
+     * partition count is clamped to it (extra workers could never own
+     * a partition) with a one-time warning.  Simulated results are
      * identical for every setting — only the fusion changes.  Fatal if
      * called while a parallel run is live.
      */
@@ -236,6 +265,51 @@ class PartitionSet {
      * tooling and the fusion tests; never affects results.
      */
     uint32_t workerOfPartition(size_t i) const { return worker_of_[i]; }
+
+    /**
+     * Enable/disable automatic worker-to-CPU pinning (default on).
+     * When on and the host has at least as many online CPUs as the run
+     * has workers, each worker is pinned to one CPU, placed so that
+     * workers exchanging channel traffic share a last-level cache.
+     * Oversubscribed runs (more workers than CPUs) are never pinned.
+     * Purely a wall-clock matter; results never depend on it.
+     */
+    void setWorkerPinning(bool enable);
+
+    /**
+     * Explicit worker-to-CPU map: worker @p i is pinned to cpus[i];
+     * workers beyond the list run unpinned.  Every id must name an
+     * online CPU of the topology (fatal otherwise — a silent fallback
+     * would hide a stale pinning config from a different machine).
+     * Overrides the automatic placement; fatal while a run is live.
+     */
+    void setWorkerCpus(std::vector<int> cpus);
+
+    /**
+     * Replace the detected host topology (tests pin down placement on
+     * arbitrary machine shapes; tools may restrict the engine to a
+     * cpuset).  Call before setWorkerCpus — explicit maps are checked
+     * against the topology current at set time.  Fatal while a run is
+     * live.
+     */
+    void setCpuTopology(CpuTopology topo);
+
+    /** Topology the engine is placing workers against. */
+    const CpuTopology &cpuTopology() const { return topo_; }
+
+    /**
+     * CPU each worker of the most recent fusion was assigned to, -1
+     * for unpinned; index w is worker w.  Feeds the run artifact's
+     * engine section and the placement tests.
+     */
+    const std::vector<int> &lastRunWorkerCpus() const { return worker_cpu_; }
+
+    /** True when the last parallel run had more workers than CPUs. */
+    bool lastRunOversubscribed() const { return last_oversubscribed_; }
+
+    /** Layout introspection for the false-sharing tests. */
+    static size_t workerLaneStride() { return sizeof(WorkerLane); }
+    static size_t workerLaneAlignment() { return alignof(WorkerLane); }
 
     /**
      * Advance all partitions to @p until on `min(size(), parallelism())`
@@ -294,97 +368,39 @@ class PartitionSet {
 
   private:
     /**
-     * Sense-reversing barrier tuned for ~µs quanta: waiters spin with
-     * bounded exponential backoff, then park on the sense word (futex
-     * via std::atomic::wait) only after the spin budget is exhausted.
-     * The last arriver runs the completion callable single-threaded
-     * before releasing anyone, and pays the notify syscall only when
-     * someone actually parked.  Not reusable concurrently with
-     * reset(); reset() happens-before the run's workers start (mutex
-     * handoff / program order).
+     * Per-worker engine lane: every piece of state one worker mutates
+     * on the quantum hot path lives here, cacheline-aligned and padded
+     * to a whole number of lines, so two workers' hot state never
+     * shares a line (the false sharing that, with the flat barrier,
+     * collapsed the threads:2 round trip).  The serial completion step
+     * reads published_min / drains dirty and may lower horizon; both
+     * directions are ordered by the barrier's RMW chain.
      */
-    class SpinBarrier {
-      public:
-        void
-        reset(uint32_t participants) noexcept
-        {
-            participants_ = participants;
-            pending_.store(participants, std::memory_order_relaxed);
-            sense_.store(0, std::memory_order_relaxed);
-            parked_.store(0, std::memory_order_relaxed);
-        }
-
-        template <typename Serial>
-        void
-        arriveAndWait(Serial &&serial) noexcept
-        {
-            // Coherence makes the relaxed load exact: this thread last
-            // observed the current sense when the previous barrier
-            // released it (or at reset), and only the last arriver of
-            // *this* barrier — which needs our arrival — can flip it.
-            const uint32_t my = sense_.load(std::memory_order_relaxed);
-            if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-                // Serial section: the acq_rel RMW chain above makes
-                // every other worker's pre-arrival writes visible here.
-                serial();
-                pending_.store(participants_, std::memory_order_relaxed);
-                // seq_cst store vs. the waiters' seq_cst park counter
-                // increment: either we see parked_ > 0 and notify, or
-                // the parker's wait() load is ordered after our store
-                // and returns immediately.  No lost wakeup.
-                sense_.store(my ^ 1u, std::memory_order_seq_cst);
-                if (parked_.load(std::memory_order_seq_cst) != 0) {
-                    sense_.notify_all();
-                }
-                return;
-            }
-            uint32_t batch = 1;
-            uint32_t spent = 0;
-            while (sense_.load(std::memory_order_acquire) == my) {
-                if (spent >= kSpinBudget) {
-                    parked_.fetch_add(1, std::memory_order_seq_cst);
-                    while (sense_.load(std::memory_order_seq_cst) == my) {
-                        sense_.wait(my, std::memory_order_seq_cst);
-                    }
-                    parked_.fetch_sub(1, std::memory_order_relaxed);
-                    return;
-                }
-                for (uint32_t i = 0; i < batch; ++i) {
-                    cpuRelax();
-                }
-                spent += batch;
-                if (batch < kMaxBatch) {
-                    batch <<= 1;
-                }
-            }
-        }
-
-      private:
+    struct alignas(64) WorkerLane {
+        /** Post-quantum minimum over the fused set (skip-rule input). */
+        SimTime published_min;
         /**
-         * ~4k pause slots ≈ tens of µs on current x86 — several dense
-         * quanta — before conceding the futex; backoff batches grow
-         * 1→64 so late spinning rechecks the line sparsely.
+         * Cached earliest pending time of the fused set.  Valid means:
+         * no partition of this worker has run since it was computed,
+         * and every message drained into them since has been folded
+         * in — so while horizon >= window bound the worker can skip
+         * its partition scans entirely (per-worker quantum skipping).
          */
-        static constexpr uint32_t kSpinBudget = 4096;
-        static constexpr uint32_t kMaxBatch = 64;
-
-        static void
-        cpuRelax() noexcept
-        {
-#if defined(__x86_64__) || defined(__i386__)
-            __builtin_ia32_pause();
-#elif defined(__aarch64__)
-            asm volatile("yield" ::: "memory");
-#else
-            std::this_thread::yield();
-#endif
-        }
-
-        std::atomic<uint32_t> pending_{0};
-        std::atomic<uint32_t> sense_{0};
-        std::atomic<uint32_t> parked_{0};
-        uint32_t participants_ = 0;
+        SimTime horizon;
+        bool horizon_valid = false;
+        /** Channel indices with posts this quantum (arena storage). */
+        uint32_t *dirty = nullptr;
+        uint32_t dirty_count = 0;
+        uint32_t dirty_cap = 0;
+        /** CPU this worker's thread is pinned to; -1 = unpinned. */
+        int cpu = -1;
+        /** Worker-local scratch; nothing here is freed before the lane. */
+        SlabArena arena;
     };
+    static_assert(alignof(WorkerLane) == 64,
+                  "lanes must start on a cacheline");
+    static_assert(sizeof(WorkerLane) % 64 == 0,
+                  "adjacent lanes must not share a cacheline");
 
     SimTime computeQuantum() const;
 
@@ -417,6 +433,16 @@ class PartitionSet {
 
     /** Fuse partitions onto @p workers (deterministic LPT greedy). */
     void assignPartitions(size_t workers);
+
+    /** Resolve worker -> CPU placement for the fusion just computed. */
+    void placeWorkers(size_t workers, const std::vector<double> &load);
+
+    /** Grow lanes_ to at least @p workers lanes (never shrinks). */
+    void ensureLanes(size_t workers);
+
+    /** Channel @p index got its first post this quantum (from @p src). */
+    void markChannelDirty(uint32_t index, size_t src);
+    void growLaneDirty(WorkerLane &lane);
 
     /** Quantum loop of fused worker @p w (worker 0 = calling thread). */
     void workerBody(size_t w);
@@ -455,19 +481,26 @@ class PartitionSet {
 
     // Fusion state of the in-flight run.  Written before workers are
     // released (mutex handoff) and only read during the run, except
-    // worker_min_/worker_dirty_ slots, which each worker writes for
-    // itself between barriers and the completion step reads (the
-    // barrier's RMW chain orders both directions).
-    struct alignas(64) PaddedTime {
-        SimTime v;
-    };
+    // the WorkerLane hot fields, which each worker writes for itself
+    // between barriers and the completion step reads (the barrier's
+    // RMW chain orders both directions).
     std::vector<std::vector<size_t>> worker_parts_; ///< worker -> fused set
     std::vector<uint32_t> worker_of_;               ///< partition -> worker
-    std::vector<PaddedTime> worker_min_;  ///< published next-event times
-    std::vector<std::vector<uint32_t>> worker_dirty_; ///< posted channels
+    std::unique_ptr<WorkerLane[]> lanes_; ///< per-worker hot state
+    size_t lane_count_ = 0;               ///< allocated (never shrinks)
+    size_t lane_active_ = 0;              ///< lanes of the current fusion
     std::vector<uint32_t> drain_scratch_; ///< merged+sorted dirty list
-    SpinBarrier barrier_;
+    TreeBarrier barrier_;
     size_t par_workers_ = 0;
+
+    // Worker placement (see setWorkerPinning/setWorkerCpus).
+    enum class PinMode { Auto, Off, Explicit };
+    CpuTopology topo_;
+    PinMode pin_mode_ = PinMode::Auto;
+    std::vector<int> pin_cpus_;   ///< Explicit worker -> cpu request
+    std::vector<int> worker_cpu_; ///< resolved placement of last fusion
+    bool last_oversubscribed_ = false;
+    bool clamp_warned_ = false;
 
     // Shared window state of the in-flight parallel run.  Written only
     // by the barrier completion step (single-threaded by construction)

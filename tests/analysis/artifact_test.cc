@@ -104,6 +104,9 @@ TEST(RunArtifact, FingerprintIgnoresWallClockArtifacts)
     a.engine = "par";
     a.threads_requested = 8;
     a.workers = 4;
+    a.cores = 16;
+    a.oversubscribed = true;
+    a.worker_cpus = {0, 2, -1, 5};
     a.quanta = 123;
     a.executed_events += 1000;
     a.partition_rows[0].events += 1000;
@@ -133,6 +136,9 @@ TEST(RunArtifact, JsonCarriesEverySection)
     a.telemetry_period_us = 1000.0;
     a.telemetry_samples = 5;
     a.config.set("incast.servers", 8);
+    a.cores = 4;
+    a.oversubscribed = false;
+    a.worker_cpus = {0, -1};
 
     const std::string j = a.toJson();
     for (const char *needle :
@@ -141,6 +147,8 @@ TEST(RunArtifact, JsonCarriesEverySection)
           "\"goodput_mbps\": 42.5", "\"requests_completed\": 3",
           "\"latencies\":", "\"iteration_us\":", "\"p99_us\":",
           "\"counters\":", "\"network\":", "\"switch_drops\": 5",
+          "\"cores\": 4", "\"oversubscribed\": false",
+          "\"worker_cpus\": [", "0,", "-1",
           "\"partitions\": [", "\"pool_makes\": 40", "\"mem\":",
           "\"telemetry\":", "\"samples\": 5", "\"fingerprint\": \"0x",
           "\"config\":", "\"incast.servers\": \"8\""}) {

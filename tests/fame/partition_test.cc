@@ -439,8 +439,11 @@ TEST(PartitionSet, FusionCapsWorkersAtPartitionCount)
     PartitionSet ps(3);
     ps.makeChannel(0, 1, 1_us);
     ps.partition(0).schedule(SimTime::us(1), [] {});
+    // A request above the partition count is clamped at set time (a
+    // 64-worker cap on a 3-partition set could never be honored), so
+    // parallelism() reports what a run will actually use.
     ps.setParallelism(64);
-    EXPECT_EQ(ps.parallelism(), 64u);
+    EXPECT_EQ(ps.parallelism(), 3u);
     ps.runParallel(SimTime::us(10));
     EXPECT_EQ(ps.lastRunWorkers(), 3u);
     ps.setParallelism(2);
@@ -497,9 +500,22 @@ TEST(PartitionSet, RandomizedTopologyStressSeqParIdentical)
             burst_at_us.push_back(rng.uniformInt(0, 3000));
         }
 
+        // Half the trials also attach random fusion groups — placement
+        // hints must never perturb results, whatever the shape.
+        const bool grouped = rng.uniformInt(0, 1) == 1;
+        std::vector<int64_t> group_of(parts, 0);
+        for (size_t i = 0; i < parts; ++i) {
+            group_of[i] = grouped
+                              ? static_cast<int64_t>(rng.uniformInt(0, 2))
+                              : static_cast<int64_t>(i);
+        }
+
         auto run = [&](bool parallel, size_t threads) {
             PartitionSet ps(parts);
             ps.setParallelism(threads);
+            for (size_t i = 0; i < parts; ++i) {
+                ps.setPartitionGroup(i, group_of[i]);
+            }
             RingWorkload w(ps, hop, fanout);
             for (uint64_t at : burst_at_us) {
                 for (size_t i = 0; i < parts; ++i) {
@@ -521,13 +537,134 @@ TEST(PartitionSet, RandomizedTopologyStressSeqParIdentical)
 
         const auto seq = run(false, 1);
         EXPECT_GT(seq.second, 0u) << "trial " << trial;
-        for (size_t threads : {1u, 2u, 0u}) {
+        for (size_t threads : {1u, 2u, 3u, 8u, 0u}) {
             const auto par = run(true, threads);
             EXPECT_EQ(seq, par)
                 << "trial " << trial << ", parts=" << parts
                 << ", threads=" << threads;
         }
     }
+}
+
+TEST(PartitionSet, WorkerLanesAreCacheLineIsolated)
+{
+    // Two workers' hot per-quantum state (published minima, horizon
+    // caches, dirty lists, arenas) must never share a cacheline.
+    EXPECT_EQ(PartitionSet::workerLaneAlignment(), 64u);
+    EXPECT_EQ(PartitionSet::workerLaneStride() % 64u, 0u);
+}
+
+TEST(PartitionSet, InvalidExplicitPinningIsFatal)
+{
+    // A cpu id outside the topology is a config error, not a silent
+    // no-op: the run would quietly lose its placement guarantee.
+    PartitionSet ps(2);
+    ps.setCpuTopology(CpuTopology::flat(2)); // cpus {0, 1}
+    EXPECT_DEATH(ps.setWorkerCpus({0, 7}), "not an online CPU");
+}
+
+TEST(PartitionSet, ExplicitPinningIsReportedPerRun)
+{
+    PartitionSet ps(4);
+    ps.setParallelism(2);
+    const CpuTopology &host = CpuTopology::host();
+    const int cpu = host.cpus.front();
+    // Both workers on the first online cpu: valid on any host, and the
+    // run artifact must report exactly what was applied.
+    ps.setWorkerCpus({cpu, cpu});
+    for (size_t i = 0; i < 4; ++i) {
+        ps.partition(i).schedule(SimTime::us(1), [] {});
+    }
+    ps.runParallel(SimTime::us(10));
+    ASSERT_EQ(ps.lastRunWorkerCpus().size(), 2u);
+    EXPECT_EQ(ps.lastRunWorkerCpus()[0], cpu);
+    EXPECT_EQ(ps.lastRunWorkerCpus()[1], cpu);
+    EXPECT_EQ(ps.lastRunOversubscribed(),
+              ps.lastRunWorkers() > host.cpuCount());
+}
+
+TEST(PartitionSet, PinningDisabledLeavesWorkersUnpinned)
+{
+    PartitionSet ps(4);
+    ps.setParallelism(2);
+    ps.setWorkerPinning(false);
+    for (size_t i = 0; i < 4; ++i) {
+        ps.partition(i).schedule(SimTime::us(1), [] {});
+    }
+    ps.runParallel(SimTime::us(10));
+    for (int cpu : ps.lastRunWorkerCpus()) {
+        EXPECT_EQ(cpu, -1);
+    }
+}
+
+TEST(PartitionSet, AutoPlacementCoLocatesChannelPartnersOnLlc)
+{
+    // Synthetic 4-cpu host with two 2-wide LLC domains.  Partitions
+    // 0<->1 and 2<->3 exchange channel traffic; the auto placement must
+    // put each chatty pair's workers on LLC siblings and keep the two
+    // pairs on distinct domains.  (Actual pinning may fail on a smaller
+    // real host — the *map* is what is checked.)
+    CpuTopology topo;
+    topo.cpus = {0, 1, 2, 3};
+    topo.llc_of = {0, 0, 1, 1};
+    topo.from_sysfs = true;
+
+    PartitionSet ps(4);
+    ps.setCpuTopology(topo);
+    ps.setParallelism(4);
+    ps.makeChannel(0, 1, 1_us);
+    ps.makeChannel(1, 0, 1_us);
+    ps.makeChannel(2, 3, 1_us);
+    ps.makeChannel(3, 2, 1_us);
+    for (size_t i = 0; i < 4; ++i) {
+        ps.partition(i).schedule(SimTime::us(1), [] {});
+    }
+    ps.runParallel(SimTime::us(10));
+
+    const std::vector<int> &cpus = ps.lastRunWorkerCpus();
+    ASSERT_EQ(cpus.size(), 4u);
+    for (int cpu : cpus) {
+        EXPECT_GE(cpu, 0); // auto pinning engaged: 2 <= workers <= cpus
+    }
+    auto domain = [&](size_t part) {
+        return topo.llcGroupOf(cpus[ps.workerOfPartition(part)]);
+    };
+    EXPECT_EQ(domain(0), domain(1));
+    EXPECT_EQ(domain(2), domain(3));
+    EXPECT_NE(domain(0), domain(2));
+}
+
+TEST(PartitionSet, SchedulingBetweenRunsInvalidatesHorizons)
+{
+    // After a run drains to idle every worker has cached an "infinite"
+    // local horizon.  Events scheduled directly into partitions between
+    // runs must still execute in the next run — a stale cache would
+    // skip them on the workers whose partitions looked idle.
+    auto run = [](bool parallel) {
+        PartitionSet ps(3);
+        ps.setParallelism(3);
+        RingWorkload w(ps, 1_us);
+        w.inject(0, 42, 6);
+        if (parallel) {
+            ps.runParallel(SimTime::ms(1));
+        } else {
+            ps.runSequential(SimTime::ms(1));
+        }
+        for (size_t i = 0; i < 3; ++i) {
+            ps.partition(i).schedule(
+                SimTime::ms(1) + SimTime::us(static_cast<int64_t>(i) + 1),
+                [&w, i] { w.onToken(i, 7 + i, 4); });
+        }
+        if (parallel) {
+            ps.runParallel(SimTime::ms(2));
+        } else {
+            ps.runSequential(SimTime::ms(2));
+        }
+        return std::pair(w.globalChecksum(), ps.totalExecutedEvents());
+    };
+    const auto seq = run(false);
+    EXPECT_GT(seq.second, 0u);
+    EXPECT_EQ(seq, run(true));
 }
 
 TEST(PartitionSet, RunParallelReentryIsFatal)

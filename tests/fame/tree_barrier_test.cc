@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The combining-tree barrier under the exact protocol PartitionSet
+ * uses: every participant keeps a local parity bit, flips it before
+ * each round, and passes it as the target sense.  The properties that
+ * matter are (a) exactly one winner per round runs the serial section,
+ * (b) the serial section observes every participant's pre-barrier
+ * writes (the happens-before edge the engine's drain depends on), and
+ * (c) both the spin path and the park path (spin budget 0, the
+ * oversubscribed configuration) uphold them across many overlapped
+ * rounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "fame/tree_barrier.hh"
+
+using diablo::fame::TreeBarrier;
+
+namespace {
+
+struct HammerResult {
+    uint64_t serial_runs = 0;
+    uint64_t winners = 0;
+    int sum_errors = 0;
+};
+
+/**
+ * Run `workers` threads through `rounds` barrier rounds.  Each worker
+ * bumps a private (padded) counter before arriving; the serial section
+ * checks that the counters sum to exactly (round+1) * workers — any
+ * worker the barrier released early, or any store the release fence
+ * failed to publish, breaks the sum.
+ */
+HammerResult
+hammer(uint32_t workers, uint32_t rounds, uint32_t spin_budget)
+{
+    TreeBarrier barrier;
+    barrier.init(workers);
+    barrier.setSpinBudget(spin_budget);
+
+    // 8 * 8B = one cacheline per worker; the test measures protocol
+    // correctness, not false-sharing throughput, but keep them apart
+    // so torn timing doesn't mask ordering bugs.
+    std::vector<uint64_t> arrivals(workers * 8, 0);
+    std::atomic<uint64_t> serial_runs{0};
+    std::atomic<uint64_t> winners{0};
+    std::atomic<int> sum_errors{0};
+
+    auto body = [&](uint32_t w) {
+        uint32_t sense = 0;
+        for (uint32_t r = 0; r < rounds; ++r) {
+            arrivals[w * 8] += 1;
+            sense ^= 1u;
+            const bool won = barrier.arriveAndWait(
+                w, sense, [&, r]() noexcept {
+                    serial_runs.fetch_add(1, std::memory_order_relaxed);
+                    uint64_t sum = 0;
+                    for (uint32_t v = 0; v < workers; ++v) {
+                        sum += arrivals[v * 8];
+                    }
+                    if (sum != uint64_t{r + 1} * workers) {
+                        sum_errors.fetch_add(1,
+                                             std::memory_order_relaxed);
+                    }
+                });
+            if (won) {
+                winners.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (uint32_t w = 0; w < workers; ++w) {
+        threads.emplace_back(body, w);
+    }
+    for (auto &t : threads) {
+        t.join();
+    }
+
+    HammerResult res;
+    res.serial_runs = serial_runs.load();
+    res.winners = winners.load();
+    res.sum_errors = sum_errors.load();
+    return res;
+}
+
+TEST(TreeBarrierTest, SingleParticipantAlwaysWins)
+{
+    TreeBarrier barrier;
+    barrier.init(1);
+    uint32_t sense = 0;
+    uint64_t serial = 0;
+    for (int r = 0; r < 1000; ++r) {
+        sense ^= 1u;
+        EXPECT_TRUE(
+            barrier.arriveAndWait(0, sense, [&]() noexcept { ++serial; }));
+    }
+    EXPECT_EQ(serial, 1000u);
+}
+
+TEST(TreeBarrierTest, OneWinnerPerRoundAcrossWidths)
+{
+    // Widths straddling the radix: below, at, just above, two levels.
+    for (uint32_t workers : {2u, 3u, 4u, 5u, 8u, 13u}) {
+        const HammerResult res = hammer(workers, 2000, 64);
+        EXPECT_EQ(res.serial_runs, 2000u) << "workers=" << workers;
+        EXPECT_EQ(res.winners, 2000u) << "workers=" << workers;
+        EXPECT_EQ(res.sum_errors, 0) << "workers=" << workers;
+    }
+}
+
+TEST(TreeBarrierTest, ParkPathSpinBudgetZero)
+{
+    // Spin budget 0 is what runParallel configures when oversubscribed:
+    // every waiter goes straight to futex park.  Same invariants hold.
+    for (uint32_t workers : {2u, 5u, 8u}) {
+        const HammerResult res = hammer(workers, 500, 0);
+        EXPECT_EQ(res.serial_runs, 500u) << "workers=" << workers;
+        EXPECT_EQ(res.winners, 500u) << "workers=" << workers;
+        EXPECT_EQ(res.sum_errors, 0) << "workers=" << workers;
+    }
+}
+
+TEST(TreeBarrierTest, ReinitChangesWidth)
+{
+    // The engine re-inits the same barrier object per run as the fused
+    // worker count changes; stale node state from a wider round must
+    // not leak into a narrower one (or vice versa).
+    TreeBarrier barrier;
+    for (uint32_t workers : {5u, 2u, 8u, 1u, 3u}) {
+        barrier.init(workers);
+        barrier.setSpinBudget(TreeBarrier::kDefaultSpinBudget);
+        std::atomic<uint64_t> serial{0};
+        std::vector<std::thread> threads;
+        for (uint32_t w = 0; w < workers; ++w) {
+            threads.emplace_back([&, w] {
+                uint32_t sense = 0;
+                for (int r = 0; r < 200; ++r) {
+                    sense ^= 1u;
+                    barrier.arriveAndWait(w, sense, [&]() noexcept {
+                        serial.fetch_add(1, std::memory_order_relaxed);
+                    });
+                }
+            });
+        }
+        for (auto &t : threads) {
+            t.join();
+        }
+        EXPECT_EQ(serial.load(), 200u) << "workers=" << workers;
+    }
+}
+
+TEST(TreeBarrierTest, NodesAreCacheLinePadded)
+{
+    // Arrival traffic on one node must not invalidate its neighbours.
+    EXPECT_EQ(TreeBarrier::nodeSize(), 64u);
+    EXPECT_EQ(TreeBarrier::nodeAlignment(), 64u);
+}
+
+} // namespace

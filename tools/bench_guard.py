@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Guard engine and datapath performance invariants in CI.
 
-Four modes:
+Five modes:
 
 sync (default) — reads a google-benchmark JSON file (--benchmark_out)
 containing BM_ClusterIncastSharded rows and checks that the fused
@@ -30,6 +30,20 @@ sequential and parallel executions must have been bit-identical
 the sketch fold must be at least --min-sketch-speedup (default 10x)
 faster than the raw SampleSet fold at equal sample counts.
 
+multicore (--mode multicore) — reads the same --benchmark_out JSON as
+sync mode, but checks the *other* direction: that adding workers buys
+real speedup.  For every BM_ClusterIncastSharded par:1 row whose worker
+count W (min(threads, racks), with threads:0 meaning all cores) fits
+the runner — 2 <= W <= num_cpus — the parallel throughput must be at
+least --scale-factor * W times the sequential (par:0) reference at the
+same shape (default 0.7, i.e. >=1.4x at two workers).  Oversubscribed
+rows are reported but not scored.  On a single-core runner the mode
+prints an explicit SKIPPED line and exits 0 — it never passes
+vacuously without saying so.  Pass --fame-json BENCH_fame.json to also
+enforce the raw barrier floor: every non-oversubscribed
+BM_FameBarrierRoundTrip row with >=2 workers in the newest trajectory
+entry must sustain --min-barrier-qps quanta per second (default 1e6).
+
 sweep (--mode sweep) — reads the report.json a diablo_sweep run
 directory contains (no stdout scraping: the merged report is the
 machine-readable contract) and enforces that every grid point ran to
@@ -39,6 +53,7 @@ engine cross-check group — grid points identical except for the engine
 
 Usage:
     bench_guard.py <benchmark.json> [--racks N] [--min-ratio R]
+    bench_guard.py <benchmark.json> --mode multicore [--scale-factor F]
     bench_guard.py BENCH_packet.json --mode packet [--max-regression F]
     bench_guard.py BENCH_scale.json --mode scale [--min-nodes-per-gb N]
     bench_guard.py sweep-out/report.json --mode sweep
@@ -192,6 +207,110 @@ def check_scale(path, min_nodes_per_gb, min_events_per_sec,
     return 1 if failed else 0
 
 
+def check_multicore(path, racks, scale_factor, fame_json,
+                    min_barrier_qps):
+    """Adding workers must buy real speedup on a multi-core runner."""
+    with open(path) as f:
+        data = json.load(f)
+
+    cores = int(data.get("context", {}).get("num_cpus", 0))
+    if cores < 2:
+        print(f"bench_guard: multicore SKIPPED — runner reports "
+              f"{cores if cores else 'an unknown number of'} CPU(s); "
+              f"parallel scaling is not measurable here (this is an "
+              f"explicit skip, not a pass)")
+        return 0
+
+    seq = None
+    par_rows = []
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name", "")
+        if not name.startswith("BM_ClusterIncastSharded/"):
+            continue
+        args = run_args(name)
+        if args.get("racks") != racks:
+            continue
+        if args.get("par") == 0:
+            seq = items_per_second(bench)
+        elif args.get("par") == 1:
+            par_rows.append((args.get("threads", 0),
+                             items_per_second(bench), name))
+
+    if seq is None or not par_rows:
+        print(f"bench_guard: missing BM_ClusterIncastSharded rows at "
+              f"racks={racks} (seq={seq}, par rows={len(par_rows)}) in "
+              f"{path}", file=sys.stderr)
+        return 1
+
+    failed = False
+    scored = 0
+    for threads, ips, name in sorted(par_rows):
+        workers = min(threads if threads else cores, racks)
+        if workers < 2:
+            # The solo-worker row is the sync-tax guard's business.
+            continue
+        ratio = ips / seq
+        if workers > cores:
+            print(f"bench_guard: {name} workers={workers} > cores="
+                  f"{cores}, oversubscribed row not scored "
+                  f"(ratio={ratio:.2f})")
+            continue
+        floor = scale_factor * workers
+        verdict = "OK" if ratio >= floor else "SCALING-REGRESSION"
+        if ratio < floor:
+            failed = True
+        scored += 1
+        print(f"bench_guard: {name} workers={workers} cores={cores} "
+              f"par={ips:.3e} seq={seq:.3e} items/s "
+              f"speedup={ratio:.2f}x (floor {floor:.2f}x) {verdict}")
+    if scored == 0:
+        print(f"bench_guard: no scoreable multi-worker rows at "
+              f"racks={racks} on a {cores}-core runner — add a "
+              f"threads:2 row", file=sys.stderr)
+        failed = True
+
+    if fame_json is not None:
+        failed |= check_barrier_floor(fame_json, cores, min_barrier_qps)
+
+    return 1 if failed else 0
+
+
+def check_barrier_floor(path, cores, min_barrier_qps):
+    """Raw barrier throughput floor from the fame trajectory."""
+    with open(path) as f:
+        data = json.load(f)
+    if not isinstance(data, list) or not data:
+        print(f"bench_guard: {path} is not a non-empty trajectory",
+              file=sys.stderr)
+        return True
+
+    failed = False
+    scored = 0
+    for bench in data[-1].get("benchmarks", []):
+        name = bench.get("name", "")
+        if not name.startswith("BM_FameBarrierRoundTrip/"):
+            continue
+        workers = float(bench.get("workers", 0))
+        if workers < 2 or float(bench.get("oversubscribed", 0)) != 0.0:
+            continue
+        qps = items_per_second(bench)
+        verdict = ("OK" if qps >= min_barrier_qps else
+                   f"BARRIER-REGRESSION (< floor {min_barrier_qps:.1e})")
+        if qps < min_barrier_qps:
+            failed = True
+        scored += 1
+        print(f"bench_guard: {name} workers={workers:g} "
+              f"quanta/s={qps:.3e} {verdict}")
+    if scored == 0:
+        print(f"bench_guard: no non-oversubscribed multi-worker "
+              f"BarrierRoundTrip rows in {path} newest entry "
+              f"(cores={cores})", file=sys.stderr)
+        failed = True
+    return failed
+
+
 def check_sweep(path):
     """Every sweep run completed; every engine cross-check matched."""
     with open(path) as f:
@@ -245,7 +364,9 @@ def check_sweep(path):
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("json_file")
-    ap.add_argument("--mode", choices=["sync", "packet", "scale", "sweep"],
+    ap.add_argument("--mode",
+                    choices=["sync", "multicore", "packet", "scale",
+                             "sweep"],
                     default="sync",
                     help="which invariant to check (default sync)")
     ap.add_argument("--racks", type=int, default=4,
@@ -267,8 +388,22 @@ def main():
     ap.add_argument("--min-sketch-speedup", type=float, default=10.0,
                     help="scale mode: minimum sketch-vs-raw fold "
                          "speedup at equal sample counts (default 10)")
+    ap.add_argument("--scale-factor", type=float, default=0.7,
+                    help="multicore mode: required speedup per worker "
+                         "(floor = factor * workers, default 0.7)")
+    ap.add_argument("--fame-json", default=None,
+                    help="multicore mode: BENCH_fame.json trajectory "
+                         "to enforce the barrier round-trip floor on")
+    ap.add_argument("--min-barrier-qps", type=float, default=1e6,
+                    help="multicore mode: minimum quanta/s for "
+                         "non-oversubscribed multi-worker barrier "
+                         "round trips (default 1e6)")
     opts = ap.parse_args()
 
+    if opts.mode == "multicore":
+        return check_multicore(opts.json_file, opts.racks,
+                               opts.scale_factor, opts.fame_json,
+                               opts.min_barrier_qps)
     if opts.mode == "sweep":
         return check_sweep(opts.json_file)
     if opts.mode == "packet":

@@ -71,6 +71,7 @@
 #include "apps/mc_experiment.hh"
 #include "analysis/artifact.hh"
 #include "analysis/report.hh"
+#include "core/cpu_topology.hh"
 #include "core/interrupt.hh"
 #include "sim/fault.hh"
 #include "sim/telemetry.hh"
@@ -86,6 +87,7 @@ enum class Engine { Single, Seq, Par };
 struct EngineOpts {
     Engine engine = Engine::Single;
     size_t threads = 0; ///< parallel worker cap; 0 = hardware default
+    bool pin = true;    ///< cache-topology-aware worker pinning
     bool mem_report = false;
 
     bool
@@ -455,6 +457,11 @@ fillCommonArtifact(analysis::RunArtifact &a, sim::Cluster &cluster,
     a.workers = (ps != nullptr && opts.eng.engine == Engine::Par)
                     ? ps->lastRunWorkers()
                     : 1;
+    a.cores = CpuTopology::host().cpuCount();
+    if (ps != nullptr && opts.eng.engine == Engine::Par) {
+        a.oversubscribed = ps->lastRunOversubscribed();
+        a.worker_cpus = ps->lastRunWorkerCpus();
+    }
     a.quanta = ps != nullptr ? ps->quantaExecuted() : 0;
     a.executed_events = ps != nullptr ? ps->totalExecutedEvents()
                                       : cluster.sim().executedEvents();
@@ -567,6 +574,7 @@ runMemcached(const Config &cfg, const sim::FaultPlan &plan,
         ps = std::make_unique<fame::PartitionSet>(
             sim::Cluster::partitionsRequired(p.cluster));
         ps->setParallelism(eng.threads);
+        ps->setWorkerPinning(eng.pin);
         exp = std::make_unique<apps::McExperiment>(*ps, p);
     }
     std::unique_ptr<sim::FaultController> fc;
@@ -705,6 +713,7 @@ runIncast(const Config &cfg, const sim::FaultPlan &plan,
         ps = std::make_unique<fame::PartitionSet>(
             sim::Cluster::partitionsRequired(cp));
         ps->setParallelism(eng.threads);
+        ps->setWorkerPinning(eng.pin);
         cluster = std::make_unique<sim::Cluster>(*ps, cp);
     }
     apps::IncastParams ip;
@@ -841,7 +850,8 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: %s <memcached|incast> [--fault-plan <file>] "
                      "[--engine <single|seq|par>] [--threads <N>] "
-                     "[--json <path>] [--mem-report] [key=value ...]\n",
+                     "[--no-pin] [--json <path>] [--mem-report] "
+                     "[key=value ...]\n",
                      argv[0]);
         return 2;
     }
@@ -903,6 +913,10 @@ main(int argc, char **argv)
                 return 2;
             }
             eng.threads = static_cast<size_t>(t);
+            continue;
+        }
+        if (std::strcmp(argv[i], "--no-pin") == 0) {
+            eng.pin = false;
             continue;
         }
         if (std::strcmp(argv[i], "--mem-report") == 0) {
