@@ -32,18 +32,20 @@ bool readFileString(const std::string &path, std::string *out) {
     return true;
 }
 
-/** cpu ids present as cpu<N> directories under `cpu_dir`, ascending. */
-std::vector<int> listCpuDirs(const std::string &cpu_dir) {
+/** ids present as <prefix><N> directories under `dir`, ascending. */
+std::vector<int> listNumberedDirs(const std::string &dir,
+                                  const char *prefix) {
     std::vector<int> ids;
 #ifdef __linux__
-    DIR *d = opendir(cpu_dir.c_str());
+    DIR *d = opendir(dir.c_str());
     if (!d)
         return ids;
+    const size_t plen = std::strlen(prefix);
     while (struct dirent *e = readdir(d)) {
         const char *name = e->d_name;
-        if (std::strncmp(name, "cpu", 3) != 0)
+        if (std::strncmp(name, prefix, plen) != 0)
             continue;
-        const char *p = name + 3;
+        const char *p = name + plen;
         if (*p == '\0')
             continue;
         bool digits = true;
@@ -55,9 +57,14 @@ std::vector<int> listCpuDirs(const std::string &cpu_dir) {
     closedir(d);
     std::sort(ids.begin(), ids.end());
 #else
-    (void)cpu_dir;
+    (void)dir;
+    (void)prefix;
 #endif
     return ids;
+}
+
+std::vector<int> listCpuDirs(const std::string &cpu_dir) {
+    return listNumberedDirs(cpu_dir, "cpu");
 }
 
 /**
@@ -109,12 +116,31 @@ int CpuTopology::llcGroupOf(int cpu) const {
     return -1;
 }
 
+size_t CpuTopology::numaNodeCount() const {
+    if (numa_of.empty())
+        return cpus.empty() ? 0 : 1; // omitted numa_of: single node
+    int max_node = -1;
+    for (int n : numa_of)
+        max_node = std::max(max_node, n);
+    return (size_t)(max_node + 1);
+}
+
+int CpuTopology::numaNodeOf(int cpu) const {
+    for (size_t i = 0; i < cpus.size(); ++i)
+        if (cpus[i] == cpu)
+            // Hand-built topologies (tests, tools) may omit numa_of;
+            // absent means single-node.
+            return i < numa_of.size() ? numa_of[i] : 0;
+    return -1;
+}
+
 CpuTopology CpuTopology::flat(unsigned n) {
     CpuTopology t;
     if (n == 0)
         n = 1;
     t.cpus.reserve(n);
     t.llc_of.assign(n, 0);
+    t.numa_of.assign(n, 0);
     for (unsigned i = 0; i < n; ++i)
         t.cpus.push_back((int)i);
     t.from_sysfs = false;
@@ -123,13 +149,36 @@ CpuTopology CpuTopology::flat(unsigned n) {
 
 CpuTopology CpuTopology::detectFrom(const std::string &cpu_dir,
                                     unsigned fallback_cpus) {
+    return detectFrom(cpu_dir, fallback_cpus, std::string());
+}
+
+CpuTopology CpuTopology::detectFrom(const std::string &cpu_dir,
+                                    unsigned fallback_cpus,
+                                    const std::string &node_dir) {
     std::vector<int> ids = listCpuDirs(cpu_dir);
     if (ids.empty())
         return flat(fallback_cpus);
 
+    // sysfs node<N>/cpulist, read up front: cpu id -> node id.  An
+    // unreadable (or absent) node tree leaves the map empty and every
+    // cpu lands on one node, matching single-socket hosts.
+    std::map<int, int> node_of_cpu;
+    if (!node_dir.empty()) {
+        for (int node : listNumberedDirs(node_dir, "node")) {
+            std::string list;
+            if (!readFileString(node_dir + "/node" + std::to_string(node) +
+                                    "/cpulist",
+                                &list))
+                continue;
+            for (int cpu : parseCpuList(list))
+                node_of_cpu.emplace(cpu, node);
+        }
+    }
+
     CpuTopology t;
     t.from_sysfs = true;
     std::map<std::string, int> group_of_key;
+    std::map<int, int> numa_group_of_node; // dense, first appearance
     for (int id : ids) {
         std::string cpu_path = cpu_dir + "/cpu" + std::to_string(id);
         // Respect hotplug state; cpu0 typically has no online file.
@@ -144,6 +193,13 @@ CpuTopology CpuTopology::detectFrom(const std::string &cpu_dir,
         t.cpus.push_back(id);
         t.llc_of.push_back(it->second);
         (void)fresh;
+        auto node_it = node_of_cpu.find(id);
+        const int raw_node =
+            node_it != node_of_cpu.end() ? node_it->second : 0;
+        auto [nit, nfresh] = numa_group_of_node.emplace(
+            raw_node, (int)numa_group_of_node.size());
+        t.numa_of.push_back(nit->second);
+        (void)nfresh;
     }
     if (t.cpus.empty())
         return flat(fallback_cpus);
@@ -152,7 +208,8 @@ CpuTopology CpuTopology::detectFrom(const std::string &cpu_dir,
 
 const CpuTopology &CpuTopology::host() {
     static const CpuTopology cached =
-        detectFrom("/sys/devices/system/cpu", fallbackHardwareCpus());
+        detectFrom("/sys/devices/system/cpu", fallbackHardwareCpus(),
+                   "/sys/devices/system/node");
     return cached;
 }
 

@@ -35,6 +35,16 @@ struct CpuTopology {
      */
     std::vector<int> llc_of;
 
+    /**
+     * NUMA node group per entry of cpus (parallel array, dense ids in
+     * first-appearance order like llc_of).  Detected from the sysfs
+     * node directory (node<N>/cpulist); a host without one — or the
+     * flat fallback — reports a single node.  An LLC group never spans
+     * nodes on real hardware, so node distance is the coarser tier of
+     * the worker placement score.
+     */
+    std::vector<int> numa_of;
+
     /** True when the shape came from sysfs, false for the fallback. */
     bool from_sysfs = false;
 
@@ -46,6 +56,12 @@ struct CpuTopology {
     /** LLC group of a cpu id, or -1 if the id is not in cpus. */
     int llcGroupOf(int cpu) const;
 
+    /** Number of distinct NUMA nodes (>= 1 unless no CPUs). */
+    size_t numaNodeCount() const;
+
+    /** NUMA node group of a cpu id, or -1 if the id is not in cpus. */
+    int numaNodeOf(int cpu) const;
+
     /**
      * Detect the host topology: sysfs when available, else the flat
      * fallback.  The result is cached after the first call.
@@ -56,9 +72,16 @@ struct CpuTopology {
      * Parse a topology from a sysfs-style tree rooted at `cpu_dir`
      * (the directory containing cpu0/, cpu1/, ...).  Returns the flat
      * fallback with `fallback_cpus` CPUs when the tree is unreadable.
+     * NUMA shape comes from `node_dir` (the directory containing
+     * node0/cpulist, node1/cpulist, ...; /sys/devices/system/node on a
+     * real host); the two-argument overload — and any unreadable node
+     * tree — yields a single node.
      */
     static CpuTopology detectFrom(const std::string &cpu_dir,
                                   unsigned fallback_cpus);
+    static CpuTopology detectFrom(const std::string &cpu_dir,
+                                  unsigned fallback_cpus,
+                                  const std::string &node_dir);
 
     /** Flat fallback: CPUs 0..n-1, all in one LLC group. */
     static CpuTopology flat(unsigned n);

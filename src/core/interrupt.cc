@@ -69,6 +69,8 @@ interruptCauseName()
         return "watchdog-deadline";
     case kCauseWatchdogStall:
         return "watchdog-stall";
+    case kCausePeer:
+        return "peer-interrupt";
     default:
         return "signal";
     }

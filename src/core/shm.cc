@@ -1,0 +1,434 @@
+#include "core/shm.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <new>
+
+#include "core/log.hh"
+
+#if defined(__linux__)
+#include <fcntl.h>
+#include <linux/futex.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+#else
+#include <chrono>
+#include <thread>
+#endif
+
+namespace diablo {
+
+// ---------------------------------------------------------------------
+// Cross-process futex
+// ---------------------------------------------------------------------
+
+#if defined(__linux__)
+
+namespace {
+
+long
+sysFutex(void *addr, int op, uint32_t val, const struct timespec *ts)
+{
+    return syscall(SYS_futex, addr, op, val, ts, nullptr, 0);
+}
+
+} // namespace
+
+void
+sharedFutexWait(std::atomic<uint32_t> *word, uint32_t expected,
+                int64_t timeout_ns)
+{
+    struct timespec ts;
+    struct timespec *tsp = nullptr;
+    if (timeout_ns > 0) {
+        ts.tv_sec = static_cast<time_t>(timeout_ns / 1000000000LL);
+        ts.tv_nsec = static_cast<long>(timeout_ns % 1000000000LL);
+        tsp = &ts;
+    }
+    // Deliberately *not* FUTEX_PRIVATE_FLAG: the word lives in a
+    // MAP_SHARED segment and the waker may be another process.
+    sysFutex(word, FUTEX_WAIT, expected, tsp);
+}
+
+void
+sharedFutexWake(std::atomic<uint32_t> *word, bool all)
+{
+    sysFutex(word, FUTEX_WAKE, all ? INT32_MAX : 1, nullptr);
+}
+
+#else // !__linux__
+
+void
+sharedFutexWait(std::atomic<uint32_t> *word, uint32_t expected,
+                int64_t timeout_ns)
+{
+    // Portable degradation: bounded sleep instead of a kernel park.
+    // Correctness only needs "returns eventually"; callers loop.
+    (void)expected;
+    int64_t ns = timeout_ns > 0 ? std::min<int64_t>(timeout_ns, 1000000)
+                                : 1000000;
+    (void)word;
+    std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+}
+
+void
+sharedFutexWake(std::atomic<uint32_t> *word, bool all)
+{
+    (void)word;
+    (void)all;
+}
+
+#endif
+
+// ---------------------------------------------------------------------
+// ShmSegment
+// ---------------------------------------------------------------------
+
+#if defined(__linux__)
+
+ShmSegment::~ShmSegment()
+{
+    if (mem_ != nullptr) {
+        ::munmap(mem_, bytes_);
+    }
+}
+
+ShmSegment::ShmSegment(ShmSegment &&o) noexcept
+    : mem_(o.mem_), bytes_(o.bytes_), path_(std::move(o.path_))
+{
+    o.mem_ = nullptr;
+    o.bytes_ = 0;
+}
+
+ShmSegment &
+ShmSegment::operator=(ShmSegment &&o) noexcept
+{
+    if (this != &o) {
+        if (mem_ != nullptr) {
+            ::munmap(mem_, bytes_);
+        }
+        mem_ = o.mem_;
+        bytes_ = o.bytes_;
+        path_ = std::move(o.path_);
+        o.mem_ = nullptr;
+        o.bytes_ = 0;
+    }
+    return *this;
+}
+
+ShmSegment
+ShmSegment::create(const std::string &path, size_t bytes)
+{
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL, 0600);
+    if (fd < 0) {
+        fatal("ShmSegment: create %s: %s", path.c_str(),
+              std::strerror(errno));
+    }
+    if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+        const int e = errno;
+        ::close(fd);
+        ::unlink(path.c_str());
+        fatal("ShmSegment: ftruncate %s to %zu bytes: %s", path.c_str(),
+              bytes, std::strerror(e));
+    }
+    void *mem = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED,
+                       fd, 0);
+    ::close(fd);
+    if (mem == MAP_FAILED) {
+        ::unlink(path.c_str());
+        fatal("ShmSegment: mmap %s: %s", path.c_str(),
+              std::strerror(errno));
+    }
+    ShmSegment seg;
+    seg.mem_ = mem;
+    seg.bytes_ = bytes;
+    seg.path_ = path;
+    return seg;
+}
+
+ShmSegment
+ShmSegment::attach(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDWR);
+    if (fd < 0) {
+        fatal("ShmSegment: attach %s: %s", path.c_str(),
+              std::strerror(errno));
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+        ::close(fd);
+        fatal("ShmSegment: attach %s: cannot size segment",
+              path.c_str());
+    }
+    const size_t bytes = static_cast<size_t>(st.st_size);
+    void *mem = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED,
+                       fd, 0);
+    ::close(fd);
+    if (mem == MAP_FAILED) {
+        fatal("ShmSegment: mmap %s: %s", path.c_str(),
+              std::strerror(errno));
+    }
+    ShmSegment seg;
+    seg.mem_ = mem;
+    seg.bytes_ = bytes;
+    seg.path_ = path;
+    return seg;
+}
+
+void
+ShmSegment::unlinkFile()
+{
+    if (!path_.empty()) {
+        ::unlink(path_.c_str());
+        path_.clear();
+    }
+}
+
+#else // !__linux__
+
+ShmSegment::~ShmSegment() { delete[] static_cast<uint8_t *>(mem_); }
+
+ShmSegment::ShmSegment(ShmSegment &&o) noexcept
+    : mem_(o.mem_), bytes_(o.bytes_), path_(std::move(o.path_))
+{
+    o.mem_ = nullptr;
+    o.bytes_ = 0;
+}
+
+ShmSegment &
+ShmSegment::operator=(ShmSegment &&o) noexcept
+{
+    if (this != &o) {
+        delete[] static_cast<uint8_t *>(mem_);
+        mem_ = o.mem_;
+        bytes_ = o.bytes_;
+        path_ = std::move(o.path_);
+        o.mem_ = nullptr;
+        o.bytes_ = 0;
+    }
+    return *this;
+}
+
+ShmSegment
+ShmSegment::create(const std::string &path, size_t bytes)
+{
+    // No mmap on this platform: the "segment" is process-private, which
+    // still serves the single-process transports and tests.
+    ShmSegment seg;
+    seg.mem_ = new uint8_t[bytes]();
+    seg.bytes_ = bytes;
+    seg.path_ = path;
+    return seg;
+}
+
+ShmSegment
+ShmSegment::attach(const std::string &path)
+{
+    fatal("ShmSegment: cross-process attach unsupported on this "
+          "platform (%s)",
+          path.c_str());
+}
+
+void
+ShmSegment::unlinkFile()
+{
+    path_.clear();
+}
+
+#endif
+
+// ---------------------------------------------------------------------
+// SpscRecordRing
+// ---------------------------------------------------------------------
+
+namespace {
+
+void
+ringRelax() noexcept
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#endif
+}
+
+} // namespace
+
+size_t
+SpscRecordRing::footprint(uint32_t capacity)
+{
+    return kHeaderBytes + capacity;
+}
+
+SpscRecordRing *
+SpscRecordRing::init(void *mem, uint32_t capacity)
+{
+    if (capacity < 4096 || (capacity & (capacity - 1)) != 0) {
+        fatal("SpscRecordRing: capacity %u is not a power of two >= "
+              "4096",
+              capacity);
+    }
+    if ((reinterpret_cast<uintptr_t>(mem) & 63) != 0) {
+        fatal("SpscRecordRing: ring memory must be 64-byte aligned");
+    }
+    auto *ring = new (mem) SpscRecordRing();
+    ring->capacity_ = capacity;
+    ring->magic_ = kMagic;
+    return ring;
+}
+
+SpscRecordRing *
+SpscRecordRing::attach(void *mem)
+{
+    auto *ring = static_cast<SpscRecordRing *>(mem);
+    if (ring->magic_ != kMagic) {
+        fatal("SpscRecordRing: attach to uninitialized ring memory");
+    }
+    return ring;
+}
+
+uint32_t
+SpscRecordRing::bytesUsed() const
+{
+    // Free-running counters: the difference is exact under uint32
+    // wraparound as long as used <= capacity, which push enforces.
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+}
+
+void
+SpscRecordRing::copyIn(uint32_t pos, const void *src, uint32_t n)
+{
+    const uint32_t mask = capacity_ - 1;
+    const uint32_t at = pos & mask;
+    const uint32_t first = std::min(n, capacity_ - at);
+    std::memcpy(dataArea() + at, src, first);
+    if (first < n) {
+        std::memcpy(dataArea(), static_cast<const uint8_t *>(src) + first,
+                    n - first);
+    }
+}
+
+void
+SpscRecordRing::copyOut(uint32_t pos, void *dst, uint32_t n) const
+{
+    const uint32_t mask = capacity_ - 1;
+    const uint32_t at = pos & mask;
+    const uint32_t first = std::min(n, capacity_ - at);
+    std::memcpy(dst, dataArea() + at, first);
+    if (first < n) {
+        std::memcpy(static_cast<uint8_t *>(dst) + first, dataArea(),
+                    n - first);
+    }
+}
+
+bool
+SpscRecordRing::tryPush(const void *p, uint32_t n)
+{
+    if (n > kMaxRecordBytes || n + 4 > capacity_) {
+        fatal("SpscRecordRing: record of %u bytes exceeds ring bounds "
+              "(capacity %u)",
+              n, capacity_);
+    }
+    const uint32_t tail = tail_.load(std::memory_order_relaxed);
+    const uint32_t head = head_.load(std::memory_order_acquire);
+    if (capacity_ - (tail - head) < n + 4) {
+        return false;
+    }
+    copyIn(tail, &n, 4);
+    copyIn(tail + 4, p, n);
+    // seq_cst publish, then seq_cst flag read: either the consumer's
+    // parked store is ordered before this store (we see the flag and
+    // wake), or our publish is ordered before its re-check (it sees
+    // the data and never sleeps).
+    tail_.store(tail + 4 + n, std::memory_order_seq_cst);
+    if (consumer_parked_.load(std::memory_order_seq_cst) != 0) {
+        sharedFutexWake(&tail_, true);
+    }
+    return true;
+}
+
+uint32_t
+SpscRecordRing::tryPop(void *out, uint32_t cap)
+{
+    const uint32_t head = head_.load(std::memory_order_relaxed);
+    const uint32_t tail = tail_.load(std::memory_order_acquire);
+    if (tail == head) {
+        return 0;
+    }
+    uint32_t n = 0;
+    copyOut(head, &n, 4);
+    if (n > cap) {
+        fatal("SpscRecordRing: %u-byte record exceeds the %u-byte pop "
+              "buffer (protocol violation)",
+              n, cap);
+    }
+    copyOut(head + 4, out, n);
+    head_.store(head + 4 + n, std::memory_order_seq_cst);
+    if (producer_parked_.load(std::memory_order_seq_cst) != 0) {
+        sharedFutexWake(&head_, true);
+    }
+    return n;
+}
+
+bool
+SpscRecordRing::waitForData(uint32_t spin_budget, int64_t timeout_ns)
+{
+    const uint32_t head = head_.load(std::memory_order_relaxed);
+    for (uint32_t i = 0; i < spin_budget; ++i) {
+        if (tail_.load(std::memory_order_acquire) != head) {
+            return true;
+        }
+        ringRelax();
+    }
+    consumer_parked_.store(1, std::memory_order_seq_cst);
+    const uint32_t tail = tail_.load(std::memory_order_seq_cst);
+    if (tail != head || aborted()) {
+        consumer_parked_.store(0, std::memory_order_relaxed);
+        return tail != head;
+    }
+    sharedFutexWait(&tail_, tail, timeout_ns);
+    consumer_parked_.store(0, std::memory_order_relaxed);
+    return tail_.load(std::memory_order_acquire) != head;
+}
+
+bool
+SpscRecordRing::waitForSpace(uint32_t bytes, uint32_t spin_budget,
+                             int64_t timeout_ns)
+{
+    const uint32_t need = bytes + 4;
+    const uint32_t tail = tail_.load(std::memory_order_relaxed);
+    auto spaceFor = [&](uint32_t head) {
+        return capacity_ - (tail - head) >= need;
+    };
+    for (uint32_t i = 0; i < spin_budget; ++i) {
+        if (spaceFor(head_.load(std::memory_order_acquire))) {
+            return true;
+        }
+        ringRelax();
+    }
+    producer_parked_.store(1, std::memory_order_seq_cst);
+    const uint32_t head = head_.load(std::memory_order_seq_cst);
+    if (spaceFor(head) || aborted()) {
+        producer_parked_.store(0, std::memory_order_relaxed);
+        return spaceFor(head);
+    }
+    sharedFutexWait(&head_, head, timeout_ns);
+    producer_parked_.store(0, std::memory_order_relaxed);
+    return spaceFor(head_.load(std::memory_order_acquire));
+}
+
+void
+SpscRecordRing::setAborted()
+{
+    aborted_.store(1, std::memory_order_seq_cst);
+    sharedFutexWake(&tail_, true);
+    sharedFutexWake(&head_, true);
+}
+
+} // namespace diablo

@@ -124,6 +124,12 @@ class SourceRoute {
     /** Bytes this route header occupies on the wire (1 byte per hop). */
     uint32_t headerBytes() const { return static_cast<uint32_t>(hops_); }
 
+    /** Port at absolute hop @p i (serialization; @p i < hops()). */
+    uint16_t portAt(size_t i) const { return port(i); }
+
+    /** Hops already advanced past (serialization). */
+    size_t nextIndex() const { return next_; }
+
     std::string str() const;
 
   private:

@@ -1,0 +1,103 @@
+#include "net/packet_record.hh"
+
+#include "core/log.hh"
+
+namespace diablo {
+namespace net {
+
+void
+serializePacket(const Packet &p, PacketRecord *out)
+{
+    if (p.app != nullptr) {
+        fatal("serializePacket: %s carries application metadata, which "
+              "cannot cross a process boundary (workload unsupported by "
+              "the multiprocess engine)",
+              p.str().c_str());
+    }
+    if (p.route.hops() > SourceRoute::kInlineHops) {
+        fatal("serializePacket: %s has a %zu-hop spilled route (wire "
+              "format carries %zu)",
+              p.str().c_str(), p.route.hops(), SourceRoute::kInlineHops);
+    }
+    if (p.pool != nullptr) {
+        const int64_t tag = p.pool->tag();
+        if (tag < 0) {
+            fatal("serializePacket: %s comes from an untagged pool; "
+                  "coupled wiring must tag every partition pool",
+                  p.str().c_str());
+        }
+        out->origin_part = static_cast<uint32_t>(tag);
+    } else {
+        out->origin_part = PacketRecord::kHeapOrigin;
+    }
+    out->id = p.id;
+    out->tcp_seq = p.tcp.seq;
+    out->tcp_ack = p.tcp.ack;
+    out->tcp_window = p.tcp.window;
+    out->tcp_flags = p.tcp.flags;
+    out->dgram_id = p.dgram_id;
+    out->dgram_bytes = p.dgram_bytes;
+    out->frag_idx = p.frag_idx;
+    out->frag_count = p.frag_count;
+    out->created_ps = p.created.toPs();
+    out->first_bit_ps = p.first_bit.toPs();
+    out->last_bit_ps = p.last_bit.toPs();
+    out->payload_bytes = p.payload_bytes;
+    out->hop_count = p.hop_count;
+    out->flow_src = p.flow.src;
+    out->flow_dst = p.flow.dst;
+    out->flow_sport = p.flow.sport;
+    out->flow_dport = p.flow.dport;
+    out->proto = static_cast<uint8_t>(p.flow.proto);
+    out->route_hops = static_cast<uint16_t>(p.route.hops());
+    out->route_next = static_cast<uint16_t>(p.route.nextIndex());
+    for (size_t i = 0; i < p.route.hops(); ++i) {
+        out->route_ports[i] = p.route.portAt(i);
+    }
+}
+
+PacketPtr
+materializePacket(const PacketRecord &rec, PacketPool *origin_pool)
+{
+    if ((rec.origin_part == PacketRecord::kHeapOrigin) !=
+        (origin_pool == nullptr)) {
+        fatal("materializePacket: origin partition %u but %s pool",
+              rec.origin_part, origin_pool ? "a" : "no");
+    }
+    if (rec.route_hops > SourceRoute::kInlineHops ||
+        rec.route_next > rec.route_hops) {
+        fatal("materializePacket: malformed route (hops %u, next %u)",
+              rec.route_hops, rec.route_next);
+    }
+    PacketPtr p =
+        origin_pool ? origin_pool->makeGhost() : PacketPtr(new Packet());
+    p->id = rec.id;
+    p->flow.src = rec.flow_src;
+    p->flow.dst = rec.flow_dst;
+    p->flow.sport = rec.flow_sport;
+    p->flow.dport = rec.flow_dport;
+    p->flow.proto = static_cast<Proto>(rec.proto);
+    p->tcp.seq = rec.tcp_seq;
+    p->tcp.ack = rec.tcp_ack;
+    p->tcp.window = rec.tcp_window;
+    p->tcp.flags = rec.tcp_flags;
+    p->payload_bytes = rec.payload_bytes;
+    p->dgram_id = rec.dgram_id;
+    p->dgram_bytes = rec.dgram_bytes;
+    p->frag_idx = rec.frag_idx;
+    p->frag_count = rec.frag_count;
+    for (uint16_t i = 0; i < rec.route_hops; ++i) {
+        p->route.append(rec.route_ports[i]);
+    }
+    for (uint16_t i = 0; i < rec.route_next; ++i) {
+        p->route.advance(rec.id);
+    }
+    p->created = SimTime::ps(rec.created_ps);
+    p->first_bit = SimTime::ps(rec.first_bit_ps);
+    p->last_bit = SimTime::ps(rec.last_bit_ps);
+    p->hop_count = rec.hop_count;
+    return p;
+}
+
+} // namespace net
+} // namespace diablo

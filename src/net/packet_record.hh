@@ -1,0 +1,88 @@
+#ifndef DIABLO_NET_PACKET_RECORD_HH_
+#define DIABLO_NET_PACKET_RECORD_HH_
+
+/**
+ * @file
+ * POD wire image of a Packet for crossing a process boundary.
+ *
+ * A ChannelLink whose destination partition lives in another process
+ * cannot post a delivery closure — closures do not survive a process
+ * boundary — so it flattens the packet into this trivially-copyable
+ * record, the transport carries the bytes, and the receiving process
+ * materializes an identical replica from its local pool for the same
+ * origin partition (ghost accounting: see PacketPool).
+ *
+ * The record covers exactly the fields the simulated datapath reads
+ * downstream of a trunk link.  Two Packet members do not cross:
+ *
+ *  - `app` (typed application metadata): a shared_ptr into the sending
+ *    process's heap.  Serialization fatals on a non-null app — the
+ *    multiprocess engine supports workloads that keep trunk packets
+ *    metadata-free (incast does; memcached does not and is rejected by
+ *    the launcher).
+ *  - pool linkage: rebuilt on the receiving side from origin_part.
+ *
+ * Route spill (routes deeper than SourceRoute::kInlineHops) is fatal
+ * for the same reason the spill itself warns: no shipped topology can
+ * produce one, and silently truncating a route would misdeliver.
+ */
+
+#include <cstdint>
+#include <type_traits>
+
+#include "net/packet.hh"
+
+namespace diablo {
+namespace net {
+
+/** Flattened Packet; field-for-field with Packet, fixed layout. */
+struct PacketRecord {
+    static constexpr uint32_t kHeapOrigin = 0xFFFFFFFF;
+
+    uint64_t id = 0;
+    uint64_t tcp_seq = 0;
+    uint64_t tcp_ack = 0;
+    uint64_t tcp_window = 0;
+    uint64_t dgram_id = 0;
+    uint64_t dgram_bytes = 0;
+    int64_t created_ps = 0;
+    int64_t first_bit_ps = 0;
+    int64_t last_bit_ps = 0;
+    uint32_t origin_part = kHeapOrigin; ///< packet's birth partition
+    uint32_t payload_bytes = 0;
+    uint32_t hop_count = 0;
+    uint32_t flow_src = 0;
+    uint32_t flow_dst = 0;
+    uint16_t flow_sport = 0;
+    uint16_t flow_dport = 0;
+    uint16_t frag_idx = 0;
+    uint16_t frag_count = 1;
+    uint16_t route_hops = 0;
+    uint16_t route_next = 0;
+    uint16_t route_ports[SourceRoute::kInlineHops] = {};
+    uint8_t proto = 0;
+    uint8_t tcp_flags = 0;
+    uint8_t pad[2] = {};
+};
+
+static_assert(std::is_trivially_copyable_v<PacketRecord>,
+              "PacketRecord must be safe to memcpy across a transport");
+
+/**
+ * Flatten @p p into @p out.  Fatal on the non-serializable cases
+ * documented above (app metadata, route spill, an untagged pool).
+ */
+void serializePacket(const Packet &p, PacketRecord *out);
+
+/**
+ * Rebuild a packet from @p rec.  @p origin_pool is this process's pool
+ * for rec.origin_part (an uncounted ghost make), or null for a heap
+ * packet (rec.origin_part == kHeapOrigin).
+ */
+PacketPtr materializePacket(const PacketRecord &rec,
+                            PacketPool *origin_pool);
+
+} // namespace net
+} // namespace diablo
+
+#endif // DIABLO_NET_PACKET_RECORD_HH_

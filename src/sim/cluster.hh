@@ -48,6 +48,9 @@
 #include "topo/clos.hh"
 
 namespace diablo {
+namespace net {
+class ChannelLink;
+} // namespace net
 namespace sim {
 
 /** Everything needed to instantiate a cluster. */
@@ -134,6 +137,19 @@ class Cluster {
     /** Non-null iff this cluster is sharded over a PartitionSet. */
     fame::PartitionSet *partitionSet() { return ps_; }
     bool sharded() const { return ps_ != nullptr; }
+
+    /**
+     * Arm the multiprocess (coupled) engine on a sharded cluster: tag
+     * every partition's packet pool with its dense index, switch each
+     * ToR<->array trunk to the PacketRecord wire path for destinations
+     * owned by peer processes, install the matching record decoder,
+     * and hand @p opts to PartitionSet::enableCoupled.  Every process
+     * of the group builds the identical cluster, calls this with its
+     * own rank/transport set (complementary owner maps), then drives
+     * its PartitionSet with runCoupled().  Call once, before the first
+     * run, on a sharded cluster only (fatal otherwise).
+     */
+    void enableProcessCoupling(const fame::PartitionSet::CoupledOptions &opts);
 
     uint32_t size() const { return network_->totalServers(); }
     uint32_t numRacks() const
@@ -233,6 +249,19 @@ class Cluster {
      * materializations never touch the same slot from two threads.
      */
     std::vector<ServerState *> nodes_;
+
+    /**
+     * Every cross-partition trunk of a sharded build: the fame channel
+     * and the ChannelLink riding it, recorded at wiring time so
+     * enableProcessCoupling can retrofit the record path without
+     * re-deriving the topology.
+     */
+    struct Trunk {
+        fame::PartitionSet::Channel *ch;
+        net::ChannelLink *link;
+    };
+    std::vector<Trunk> trunks_;
+
     /** One arena per rack partition (a single one when not sharded). */
     std::vector<SlabArena> arenas_;
     /** Per-arena materialization order, for reverse-order teardown. */

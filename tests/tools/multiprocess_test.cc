@@ -1,0 +1,239 @@
+/**
+ * @file
+ * End-to-end tests of the multiprocess engine launcher: a --processes 2
+ * incast must produce a byte-identical fingerprint to the in-process
+ * sequential run (with and without a fault plan), SIGTERM to the
+ * leader must forward to the engine children and finalize an
+ * interrupted partial artifact with the interrupted exit code, and the
+ * mode's argument validation must reject the unsupported combinations
+ * loudly instead of silently degrading.
+ */
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/artifact.hh"
+#include "core/interrupt.hh"
+
+namespace {
+
+using namespace std::chrono_literals;
+
+std::string
+tmpPath(const std::string &name)
+{
+    return testing::TempDir() + "diablo_mp_" + name;
+}
+
+int
+runCmd(const std::string &cmd)
+{
+    const int status = std::system(cmd.c_str());
+    if (status < 0) {
+        return -1;
+    }
+    return WIFEXITED(status) ? WEXITSTATUS(status) : 128;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+}
+
+/** The "fingerprint": "0x..." value of an artifact document. */
+std::string
+fingerprintOf(const std::string &doc)
+{
+    const char key[] = "\"fingerprint\": \"";
+    const size_t at = doc.find(key);
+    if (at == std::string::npos) {
+        return "";
+    }
+    const size_t start = at + sizeof(key) - 1;
+    const size_t end = doc.find('"', start);
+    return doc.substr(start, end - start);
+}
+
+/** The CI smoke scenario: 4 racks so the LPT split has real work on
+ *  both ranks, small enough to finish in about a second. */
+const char kMpIncast[] =
+    " incast incast.servers=8 incast.racks=4 incast.iterations=5";
+
+const char kFaultPlan[] =
+    " fault.0.kind=trunk_down fault.0.at_us=200000 fault.0.rack=1"
+    " fault.0.plane=0 fault.1.kind=trunk_up fault.1.at_us=900000"
+    " fault.1.rack=1 fault.1.plane=0";
+
+void
+expectCrossProcessFingerprintMatch(const std::string &tag,
+                                   const std::string &extra)
+{
+    const std::string seq_json = tmpPath(tag + "_seq.json");
+    const std::string mp_json = tmpPath(tag + "_mp.json");
+    ASSERT_EQ(runCmd(std::string(DIABLO_RUN_BIN) + kMpIncast + extra +
+                     " --engine seq --json " + seq_json +
+                     " > /dev/null 2>&1"),
+              0);
+    ASSERT_EQ(runCmd(std::string(DIABLO_RUN_BIN) + kMpIncast + extra +
+                     " --processes 2 --json " + mp_json +
+                     " > /dev/null 2>&1"),
+              0);
+
+    const std::string seq_doc = slurp(seq_json);
+    const std::string mp_doc = slurp(mp_json);
+    const std::string seq_fp = fingerprintOf(seq_doc);
+    ASSERT_FALSE(seq_fp.empty());
+    EXPECT_EQ(seq_fp, fingerprintOf(mp_doc));
+
+    // The merged artifact names the engine and records the transport
+    // ledger in its own (non-folded) counter group.
+    EXPECT_NE(mp_doc.find("\"name\": \"mp\""), std::string::npos);
+    EXPECT_NE(mp_doc.find("\"mp\":"), std::string::npos);
+    EXPECT_NE(mp_doc.find("\"sync_sent\":"), std::string::npos);
+    EXPECT_NE(mp_doc.find("\"processes\": 2"), std::string::npos);
+    EXPECT_TRUE(diablo::analysis::RunArtifact::validate(mp_json).ok);
+    std::remove(seq_json.c_str());
+    std::remove(mp_json.c_str());
+}
+
+// The tentpole acceptance criterion, as CI runs it: 4-rack incast at
+// --processes 2 fingerprints byte-identical to the one-process
+// sequential reference.
+TEST(MultiprocessRun, FingerprintMatchesSequential)
+{
+    expectCrossProcessFingerprintMatch("clean", "");
+}
+
+// Same with a CLI fault plan: every process installs the full plan and
+// the replicated routing-view updates keep the merged ledgers exact.
+TEST(MultiprocessRun, FingerprintMatchesSequentialUnderFaults)
+{
+    expectCrossProcessFingerprintMatch("faulted", kFaultPlan);
+}
+
+/** Spawn diablo_run with output to @p log; returns the child pid. */
+pid_t
+spawnRun(const std::string &args, const std::string &log)
+{
+    const pid_t pid = fork();
+    if (pid != 0) {
+        return pid;
+    }
+    if (std::freopen(log.c_str(), "w", stdout) == nullptr ||
+        dup2(fileno(stdout), fileno(stderr)) < 0) {
+        std::_Exit(127);
+    }
+    std::vector<std::string> argv_s;
+    argv_s.push_back(DIABLO_RUN_BIN);
+    size_t pos = 0;
+    while (pos < args.size()) {
+        const size_t sp = args.find(' ', pos);
+        const std::string tok =
+            args.substr(pos, sp == std::string::npos ? std::string::npos
+                                                     : sp - pos);
+        if (!tok.empty()) {
+            argv_s.push_back(tok);
+        }
+        if (sp == std::string::npos) {
+            break;
+        }
+        pos = sp + 1;
+    }
+    std::vector<char *> argv;
+    for (const std::string &a : argv_s) {
+        argv.push_back(const_cast<char *>(a.c_str()));
+    }
+    argv.push_back(nullptr);
+    execv(argv[0], argv.data());
+    std::_Exit(127);
+}
+
+int
+waitExit(pid_t pid)
+{
+    int status = 0;
+    while (waitpid(pid, &status, 0) < 0) {
+        if (errno != EINTR) {
+            ADD_FAILURE() << "waitpid: " << std::strerror(errno);
+            return -1;
+        }
+    }
+    return WIFEXITED(status) ? WEXITSTATUS(status)
+                             : 128 + WTERMSIG(status);
+}
+
+// SIGTERM to the leader forwards to the spawned engine ranks; the
+// group stops at one agreed window boundary and the leader finalizes
+// an interrupted partial artifact with the interrupted exit code.
+TEST(MultiprocessRun, SigtermForwardsToEngineChildren)
+{
+    const std::string json = tmpPath("sigterm.json");
+    const std::string log = tmpPath("sigterm.log");
+    std::remove(json.c_str());
+
+    const pid_t pid = spawnRun(
+        " incast incast.servers=96 incast.racks=12 incast.iterations=100"
+        " incast.block_bytes=262144 --processes 2 --json " + json,
+        log);
+    ASSERT_GT(pid, 0);
+    std::this_thread::sleep_for(500ms);
+    ASSERT_EQ(kill(pid, SIGTERM), 0) << "run exited before the signal";
+    EXPECT_EQ(waitExit(pid), diablo::core::kExitInterrupted);
+
+    const std::string doc = slurp(json);
+    EXPECT_NE(doc.find("\"status\": \"interrupted\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"interrupt_cause\": \"SIGTERM\""),
+              std::string::npos);
+    const auto v = diablo::analysis::RunArtifact::validate(json);
+    EXPECT_FALSE(v.ok);
+    EXPECT_EQ(v.status, "interrupted");
+    std::remove(json.c_str());
+    std::remove(log.c_str());
+}
+
+TEST(MultiprocessRun, RejectsUnsupportedCombinations)
+{
+    // AppData on in-flight packets cannot cross a process boundary.
+    EXPECT_EQ(runCmd(std::string(DIABLO_RUN_BIN) +
+                     " memcached --processes 2 > /dev/null 2>&1"),
+              2);
+    // Telemetry samplers read only the leader's partitions.
+    EXPECT_EQ(runCmd(std::string(DIABLO_RUN_BIN) + kMpIncast +
+                     " telemetry.period=10000 --processes 2"
+                     " > /dev/null 2>&1"),
+              2);
+    // A process count needs to be a positive integer.
+    EXPECT_EQ(runCmd(std::string(DIABLO_RUN_BIN) + kMpIncast +
+                     " --processes 0 > /dev/null 2>&1"),
+              2);
+    EXPECT_EQ(runCmd(std::string(DIABLO_RUN_BIN) + kMpIncast +
+                     " --processes abc > /dev/null 2>&1"),
+              2);
+    // One rack = one partition: nothing to split across processes.
+    EXPECT_EQ(runCmd(std::string(DIABLO_RUN_BIN) +
+                     " incast incast.servers=2 incast.racks=1"
+                     " --processes 2 > /dev/null 2>&1"),
+              2);
+}
+
+} // namespace

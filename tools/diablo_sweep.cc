@@ -377,9 +377,18 @@ spawnJob(const Job &j)
         sleepMs(50L << attempt); // 50ms..1.6s, ~3s total
     }
     if (pid != 0) {
+        // Mirror the child's setpgid so a signal sent between fork and
+        // the child's own call still reaches the group (whichever side
+        // runs first creates it; EACCES after exec means it's done).
+        setpgid(pid, pid);
         return pid;
     }
-    // Child.  Keep a copy of the original stderr (close-on-exec so it
+    // Child.  Lead a fresh process group so the sweep's signals reach
+    // the whole engine family: a multiprocess diablo_run (--processes)
+    // spawns child ranks, and a SIGTERM to the group lets every rank
+    // finalize, not just the launcher.
+    setpgid(0, 0);
+    // Keep a copy of the original stderr (close-on-exec so it
     // never leaks into diablo_run) to report redirection failures —
     // otherwise a bad log path exits 127 with no trace anywhere.
     const int saved_err = dup(STDERR_FILENO);
@@ -819,7 +828,9 @@ main(int argc, char **argv)
             pending.clear();
             for (auto &[pid, j] : live) {
                 (void)j;
-                kill(pid, SIGTERM);
+                // Negative pid: signal the job's whole process group,
+                // so multiprocess engine ranks finalize too.
+                kill(-pid, SIGTERM);
             }
         }
 
@@ -890,7 +901,7 @@ main(int argc, char **argv)
                         now + std::chrono::microseconds(
                                   static_cast<int64_t>(
                                       spec.grace_s * 1e6));
-                    kill(pid, SIGTERM);
+                    kill(-pid, SIGTERM);
                     if (overdue) {
                         std::printf("%s: timeout after %.1fs, sent "
                                     "SIGTERM\n",
@@ -898,7 +909,7 @@ main(int argc, char **argv)
                         std::fflush(stdout);
                     }
                 } else if (j.term_sent && now >= j.kill_at) {
-                    kill(pid, SIGKILL);
+                    kill(-pid, SIGKILL);
                 }
             }
         }
